@@ -1,0 +1,22 @@
+//! Fig. 10 — the "die photo": floorplan render of the implemented macro.
+use syndcim_bench::implement_best;
+use syndcim_core::published::paper_anchors;
+use syndcim_core::MacroSpec;
+use syndcim_layout::{render_ascii, render_svg};
+
+fn main() {
+    let spec = MacroSpec::paper_test_chip();
+    let (im, _lib) = implement_best(&spec);
+    let svg = render_svg(&im.mac.module, &im.placement, 40_000);
+    let path = "target/fig10_die.svg";
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(path, &svg).expect("write svg");
+    println!("Fig. 10: floorplan written to {path} ({} bytes)", svg.len());
+    println!("{}", render_ascii(&im.mac.module, &im.placement, 96, 24));
+    let a = paper_anchors();
+    println!(
+        "die {:.0}x{:.0} um, area {:.3} mm2 (paper: 455x246 um, {:.3} mm2), utilization {:.0}%",
+        im.placement.die.w_um, im.placement.die.h_um, im.area_mm2(), a.area_mm2,
+        im.placement.utilization * 100.0
+    );
+}

@@ -1,0 +1,26 @@
+//! Fig. 9 — shmoo plot of the SynDCIM-generated test macro.
+use syndcim_bench::implement_best;
+use syndcim_core::published::paper_anchors;
+use syndcim_core::{shmoo, MacroSpec};
+use syndcim_pdk::OperatingPoint;
+
+fn main() {
+    let spec = MacroSpec::paper_test_chip();
+    let (im, lib) = implement_best(&spec);
+    let voltages: Vec<f64> = (0..=12).map(|i| 0.60 + 0.05 * i as f64).collect();
+    let freqs: Vec<f64> = (1..=12).map(|i| 100.0 * i as f64).collect();
+    let s = shmoo(&im, &lib, &voltages, &freqs);
+    println!("Fig. 9: shmoo of the 64x64 MCR=2 macro (post-layout STA)");
+    print!("{}", s.render());
+    let anchors = paper_anchors();
+    let f12 = im.fmax_mhz(&lib, OperatingPoint::at_voltage(1.2));
+    let f07 = im.fmax_mhz(&lib, OperatingPoint::at_voltage(0.7));
+    println!("anchor            paper      measured");
+    println!("fmax @1.2V     {:>7.0} MHz {:>9.0} MHz", anchors.fmax_1v2_mhz, f12);
+    println!("fmax @0.7V     {:>7.0} MHz {:>9.0} MHz", anchors.fmax_0v7_mhz, f07);
+    let tput = syndcim_power::MacThroughput {
+        h: spec.h, w: spec.w,
+        act: syndcim_sim::Precision::Int(1), weight: syndcim_sim::Precision::Int(1),
+    };
+    println!("TOPS(1b) @1.2V {:>7.1}     {:>9.1}", anchors.tops_1b, tput.tops(f12));
+}

@@ -1,0 +1,28 @@
+//! Table I — feature comparison of emerging CIM compilers.
+use syndcim_core::published::table1_compilers;
+
+fn tick(b: bool) -> &'static str {
+    if b { "yes" } else { "-" }
+}
+
+fn main() {
+    println!("Table I: comparison with emerging CIM compilers");
+    println!(
+        "{:<22}{:<10}{:>8}{:>8}{:>6}{:>6}{:>12}{:>12}{:>9}",
+        "compiler", "venue", "digital", "layout", "FP", "MCR", "perf-aware", "multi-spec", "silicon"
+    );
+    for r in table1_compilers() {
+        println!(
+            "{:<22}{:<10}{:>8}{:>8}{:>6}{:>6}{:>12}{:>12}{:>9}",
+            r.name,
+            r.venue,
+            tick(r.digital),
+            tick(r.layout_generation),
+            tick(r.fp_support),
+            tick(r.mcr_aware),
+            tick(r.performance_aware),
+            tick(r.multi_spec_synthesis),
+            tick(r.silicon_validated),
+        );
+    }
+}

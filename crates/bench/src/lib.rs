@@ -1,0 +1,37 @@
+//! # syndcim-bench — harness regenerating every paper table and figure
+//!
+//! Each binary regenerates one artifact of the paper's evaluation
+//! (§IV): `table1`, `fig7`, `fig8`, `fig9`, `fig10`, `table2`, plus the
+//! `ablation_csa` / `ablation_search` studies. Criterion benches cover
+//! compiler runtime (the "agile EDA" claim). Run binaries with
+//! `--release`; see EXPERIMENTS.md for recorded outputs.
+
+use syndcim_core::{implement, ImplementedMacro, MacroSpec};
+use syndcim_scl::Scl;
+
+/// Search + implement the preferred design for `spec`, returning the
+/// macro and the cell library (panics on infeasible specs — the bench
+/// specs are known-good).
+pub fn implement_best(spec: &MacroSpec) -> (ImplementedMacro, syndcim_pdk::CellLibrary) {
+    let mut scl = Scl::new();
+    let res = syndcim_core::search(spec, &mut scl);
+    let best = res.best(spec).expect("bench specs are feasible");
+    let lib = scl.cell_library().clone();
+    let im = implement(&lib, spec, &best.choice).expect("flow succeeds");
+    (im, lib)
+}
+
+/// Dense INT spec without FP units, at the given dimension.
+pub fn int_spec(dim: usize) -> MacroSpec {
+    MacroSpec {
+        h: dim,
+        w: dim,
+        mcr: 2,
+        int_precisions: vec![1, 2, 4, 8],
+        fp_precisions: vec![],
+        f_mac_mhz: 500.0,
+        f_wu_mhz: 500.0,
+        vdd_v: 0.9,
+        ppa: Default::default(),
+    }
+}

@@ -1,0 +1,89 @@
+//! Small arithmetic helpers shared by assembly (carry-propagate and
+//! count-combining adders for split columns and retimed trees).
+
+use syndcim_netlist::{NetId, NetlistBuilder};
+
+/// Number of bits needed to represent the unsigned count `0..=n`.
+pub fn count_bits(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// Carry-propagate adder assimilating a redundant carry-save pair
+/// (equal widths); the result keeps the pair's width (the tree
+/// guarantees no overflow past it).
+pub fn cpa(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId]) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len());
+    let (sum, _carry) = syndcim_subckt::arith::rca(b, a, x, None);
+    sum
+}
+
+/// Combine several unsigned partial counts into their total by pairwise
+/// ripple-carry addition (used when a column is split into H/2 or H/4
+/// trees).
+pub fn combine_counts(b: &mut NetlistBuilder<'_>, mut parts: Vec<Vec<NetId>>) -> Vec<NetId> {
+    assert!(!parts.is_empty());
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(p) = it.next() {
+            match it.next() {
+                Some(q) => {
+                    let wid = p.len().max(q.len());
+                    let zero = b.const0();
+                    let pe = syndcim_subckt::arith::zero_extend(&p, wid, zero);
+                    let qe = syndcim_subckt::arith::zero_extend(&q, wid, zero);
+                    let (mut s, c) = syndcim_subckt::arith::rca(b, &pe, &qe, None);
+                    s.push(c);
+                    next.push(s);
+                }
+                None => next.push(p),
+            }
+        }
+        parts = next;
+    }
+    parts.pop().expect("one total remains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_pdk::CellLibrary;
+    use syndcim_sim::Simulator;
+
+    #[test]
+    fn combine_counts_totals_correctly() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let p0 = b.input_bus("p0", 3);
+        let p1 = b.input_bus("p1", 3);
+        let p2 = b.input_bus("p2", 3);
+        let total = combine_counts(&mut b, vec![p0, p1, p2]);
+        b.output_bus("t", &total);
+        let width = total.len() as u32;
+        let m = b.finish();
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for (a, c, d) in [(7u64, 7u64, 7u64), (1, 2, 3), (0, 0, 0), (5, 0, 6)] {
+            sim.set_bus("p0", 3, a as i64);
+            sim.set_bus("p1", 3, c as i64);
+            sim.set_bus("p2", 3, d as i64);
+            sim.settle();
+            assert_eq!(sim.get_bus_unsigned("t", width), a + c + d);
+        }
+    }
+
+    #[test]
+    fn cpa_assimilates_pairs() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input_bus("a", 4);
+        let x = b.input_bus("x", 4);
+        let s = cpa(&mut b, &a, &x);
+        b.output_bus("s", &s);
+        let m = b.finish();
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        sim.set_bus("a", 4, 9);
+        sim.set_bus("x", 4, 5);
+        sim.settle();
+        assert_eq!(sim.get_bus_unsigned("s", 4), 14);
+    }
+}

@@ -1,0 +1,100 @@
+//! Baseline compilers for the Fig. 8 comparison.
+//!
+//! Template-based generators (AutoDCIM and successors) fix their
+//! subcircuits up front and never search: they produce exactly one
+//! design per spec, regardless of performance goals. These baselines
+//! run through the *same* assembly/implementation flow as SynDCIM, so
+//! the comparison isolates the value of the multi-spec-oriented search.
+
+use crate::design::DesignChoice;
+use syndcim_subckt::{AdderTreeKind, BitcellKind, MultMuxKind};
+
+/// Which fixed-template baseline to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// AutoDCIM-style template: 1T pass-gate mux sites, conventional
+    /// signed-RCA adder trees, single fixed pipeline, no optimization.
+    AutoDcimTemplate,
+    /// A compressor-only CSA template ([14]-style): efficient adders but
+    /// still no performance-aware selection.
+    CompressorTemplate,
+    /// Full-adder Wallace template: fast but pays area/power everywhere.
+    FullAdderTemplate,
+}
+
+impl BaselineKind {
+    /// All baselines.
+    pub const ALL: &'static [BaselineKind] =
+        &[BaselineKind::AutoDcimTemplate, BaselineKind::CompressorTemplate, BaselineKind::FullAdderTemplate];
+
+    /// The fixed design choice this template always emits.
+    pub fn choice(&self) -> DesignChoice {
+        match self {
+            BaselineKind::AutoDcimTemplate => DesignChoice {
+                bitcell: BitcellKind::Sram6T2T,
+                multmux: MultMuxKind::PassGate1T,
+                tree_kind: AdderTreeKind::RcaTree,
+                carry_reorder: false,
+                tree_retimed: false,
+                column_split: 1,
+                pipe_tree_sa: true,
+                ofu_negate_retimed: false,
+                ofu_extra_pipe: false,
+                align_pipelined: false,
+            },
+            BaselineKind::CompressorTemplate => DesignChoice {
+                bitcell: BitcellKind::Sram6T2T,
+                multmux: MultMuxKind::TgNor,
+                tree_kind: AdderTreeKind::CompressorCsa,
+                carry_reorder: false,
+                tree_retimed: false,
+                column_split: 1,
+                pipe_tree_sa: true,
+                ofu_negate_retimed: false,
+                ofu_extra_pipe: false,
+                align_pipelined: false,
+            },
+            BaselineKind::FullAdderTemplate => DesignChoice {
+                bitcell: BitcellKind::Sram6T2T,
+                multmux: MultMuxKind::TgNor,
+                tree_kind: AdderTreeKind::MixedCsa { fa_rounds: 99 },
+                carry_reorder: false,
+                tree_retimed: false,
+                column_split: 1,
+                pipe_tree_sa: true,
+                ofu_negate_retimed: false,
+                ofu_extra_pipe: false,
+                align_pipelined: false,
+            },
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::AutoDcimTemplate => "AutoDCIM-style template",
+            BaselineKind::CompressorTemplate => "pure-compressor template",
+            BaselineKind::FullAdderTemplate => "full-adder template",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_are_fixed_and_distinct() {
+        let a = BaselineKind::AutoDcimTemplate.choice();
+        let c = BaselineKind::CompressorTemplate.choice();
+        let f = BaselineKind::FullAdderTemplate.choice();
+        assert_eq!(a.multmux, MultMuxKind::PassGate1T);
+        assert_eq!(a.tree_kind, AdderTreeKind::RcaTree);
+        assert_ne!(a, c);
+        assert_ne!(c, f);
+        // Templates never use the paper's optimizations.
+        for ch in [a, c, f] {
+            assert!(!ch.tree_retimed && ch.column_split == 1 && !ch.carry_reorder);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Design points: subcircuit choices + PPA estimates.
+
+use syndcim_subckt::{AdderTreeKind, BitcellKind, MultMuxKind};
+
+/// The complete set of subcircuit/architecture choices defining one
+/// candidate macro — the decision variables of the multi-spec-oriented
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignChoice {
+    /// Bitcell style.
+    pub bitcell: BitcellKind,
+    /// Multiplier/multiplexer style.
+    pub multmux: MultMuxKind,
+    /// Adder-tree topology.
+    pub tree_kind: AdderTreeKind,
+    /// Apply the carry-reorder connection optimization.
+    pub carry_reorder: bool,
+    /// Retimed tree: the pipeline register moves in front of the final
+    /// RCA stage (tree emits its carry-save pair; the RCA runs in the
+    /// S&A stage). Requires `pipe_tree_sa`.
+    pub tree_retimed: bool,
+    /// Column split factor (1 = no split; 2/4 = trees over H/2 / H/4
+    /// with recombination adders).
+    pub column_split: usize,
+    /// Pipeline register between adder tree and S&A.
+    pub pipe_tree_sa: bool,
+    /// OFU negate stage retimed into the S&A pipeline stage.
+    pub ofu_negate_retimed: bool,
+    /// Extra pipeline register bank inside the OFU.
+    pub ofu_extra_pipe: bool,
+    /// Pipeline register inside the FP alignment comparator tree.
+    pub align_pipelined: bool,
+}
+
+impl Default for DesignChoice {
+    /// The cheapest starting point of the search: compressor CSA,
+    /// standard TG+NOR sites, one pipeline stage, no timing fixes.
+    fn default() -> Self {
+        DesignChoice {
+            bitcell: BitcellKind::Sram6T2T,
+            multmux: MultMuxKind::TgNor,
+            tree_kind: AdderTreeKind::CompressorCsa,
+            carry_reorder: true,
+            tree_retimed: false,
+            column_split: 1,
+            pipe_tree_sa: true,
+            ofu_negate_retimed: false,
+            ofu_extra_pipe: false,
+            align_pipelined: false,
+        }
+    }
+}
+
+impl DesignChoice {
+    /// Pipeline stages between activation entry and channel output:
+    /// tree/psum register (optional) + S&A + OFU extra stage (optional).
+    pub fn pipeline_stages(&self) -> usize {
+        1 + usize::from(self.pipe_tree_sa) + usize::from(self.ofu_extra_pipe)
+    }
+
+    /// Short human-readable label for plots and tables.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}/{}/{}", self.bitcell, self.multmux, self.tree_kind);
+        if self.tree_retimed {
+            s.push_str("+retime");
+        }
+        if self.column_split > 1 {
+            s.push_str(&format!("+split{}", self.column_split));
+        }
+        if !self.pipe_tree_sa {
+            s.push_str("+merged");
+        }
+        if self.ofu_extra_pipe {
+            s.push_str("+ofupipe");
+        }
+        s
+    }
+}
+
+/// Architecture-level PPA estimate of a design point (from the SCL
+/// lookup tables; the implementation flow later verifies it with full
+/// STA/power on the assembled netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PpaEstimate {
+    /// Worst stage delay in ps at the nominal corner.
+    pub critical_delay_ps: f64,
+    /// Whether every stage meets the spec period.
+    pub timing_met: bool,
+    /// Estimated total power at the spec frequency/voltage, in µW.
+    pub power_uw: f64,
+    /// Estimated macro area in µm² (cell area / placement utilization).
+    pub area_um2: f64,
+    /// Pass latency in cycles (pipeline depth + serial bits).
+    pub latency_cycles: usize,
+    /// Peak throughput at 1b×1b in TOPS at the spec frequency.
+    pub tops_1b: f64,
+}
+
+/// One candidate design: choices + estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The subcircuit/architecture choices.
+    pub choice: DesignChoice,
+    /// The SCL-based estimate.
+    pub est: PpaEstimate,
+}
+
+impl DesignPoint {
+    /// Scalar preference score (lower is better) under PPA weights.
+    pub fn score(&self, ppa: &crate::spec::PpaWeights) -> f64 {
+        // Normalize by plausible scales so the weights act as intended.
+        ppa.power * self.est.power_uw / 1e4
+            + ppa.area * self.est.area_um2 / 1e5
+            + ppa.latency * self.est.latency_cycles as f64 / 16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PpaWeights;
+
+    #[test]
+    fn pipeline_stage_counting() {
+        let mut c = DesignChoice::default();
+        assert_eq!(c.pipeline_stages(), 2);
+        c.pipe_tree_sa = false;
+        assert_eq!(c.pipeline_stages(), 1);
+        c.ofu_extra_pipe = true;
+        assert_eq!(c.pipeline_stages(), 2);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let mut c = DesignChoice::default();
+        c.tree_retimed = true;
+        c.column_split = 2;
+        let l = c.label();
+        assert!(l.contains("retime") && l.contains("split2"), "{l}");
+    }
+
+    #[test]
+    fn score_follows_weights() {
+        let cheap_power = DesignPoint {
+            choice: DesignChoice::default(),
+            est: PpaEstimate { power_uw: 100.0, area_um2: 100_000.0, latency_cycles: 10, ..Default::default() },
+        };
+        let cheap_area = DesignPoint {
+            choice: DesignChoice::default(),
+            est: PpaEstimate { power_uw: 10_000.0, area_um2: 1_000.0, latency_cycles: 10, ..Default::default() },
+        };
+        let e = PpaWeights::energy_leaning();
+        let a = PpaWeights::area_leaning();
+        assert!(cheap_power.score(&e) < cheap_area.score(&e));
+        assert!(cheap_area.score(&a) < cheap_power.score(&a));
+    }
+}

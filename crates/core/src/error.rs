@@ -1,0 +1,85 @@
+//! Unified error type for the compiler flow.
+
+use std::fmt;
+
+use crate::spec::SpecError;
+use syndcim_layout::LayoutError;
+use syndcim_netlist::NetlistError;
+
+/// Any error the compiler flow can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Specification validation failed.
+    Spec(SpecError),
+    /// The generated netlist is malformed (internal error).
+    Netlist(NetlistError),
+    /// Placement or design-rule checking failed.
+    Layout(LayoutError),
+    /// No design in the search space met the constraints.
+    NoFeasibleDesign,
+    /// A simulated macro output disagreed with the golden model.
+    FunctionalMismatch {
+        /// Output channel index (`usize::MAX` for the alignment unit).
+        channel: usize,
+        /// Hardware value.
+        got: i64,
+        /// Golden-model value.
+        want: i64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Spec(e) => write!(f, "invalid specification: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Layout(e) => write!(f, "layout error: {e}"),
+            CoreError::NoFeasibleDesign => write!(f, "no design in the search space meets the constraints"),
+            CoreError::FunctionalMismatch { channel, got, want } => {
+                write!(f, "macro output mismatch on channel {channel}: got {got}, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Spec(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Layout(e) => Some(e),
+            CoreError::NoFeasibleDesign | CoreError::FunctionalMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for CoreError {
+    fn from(e: SpecError) -> Self {
+        CoreError::Spec(e)
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<LayoutError> for CoreError {
+    fn from(e: LayoutError) -> Self {
+        CoreError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e: CoreError = SpecError::BadMcr.into();
+        assert!(e.to_string().contains("invalid specification"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::NoFeasibleDesign.to_string().contains("no design"));
+    }
+}

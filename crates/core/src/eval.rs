@@ -1,0 +1,490 @@
+//! Post-implementation evaluation: run real MAC workloads on the
+//! implemented macro, verify every output against the golden model, and
+//! measure power/efficiency from the observed switching activity —
+//! the "post-layout simulation" sign-off of the paper, plus the
+//! measurement conditions of its evaluation section.
+
+use syndcim_pdk::{CellLibrary, OperatingPoint};
+use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
+use syndcim_sim::golden::{bit_serial_schedule, fp_align, int_dot, twos_complement_bit, DcimChannelTrace};
+use syndcim_sim::{FpValue, Precision, Simulator};
+
+use crate::error::CoreError;
+use crate::flow::ImplementedMacro;
+
+/// Result of one measured workload.
+#[derive(Debug, Clone)]
+pub struct MacMeasurement {
+    /// Channel outputs checked against the golden model.
+    pub checked_outputs: usize,
+    /// Power at the measurement frequency and corner.
+    pub power: PowerReport,
+    /// Throughput in TOPS at the measured precision.
+    pub tops: f64,
+    /// Energy efficiency in TOPS/W at the measured precision.
+    pub tops_per_w: f64,
+    /// Energy efficiency normalized to 1b×1b (the paper's Table II
+    /// convention).
+    pub tops_per_w_1b: f64,
+    /// Area efficiency normalized to 1b×1b, in TOPS/mm².
+    pub tops_per_mm2_1b: f64,
+    /// Energy per MAC in femtojoules at the measured precision.
+    pub energy_per_mac_fj: f64,
+}
+
+/// Measure an integer MAC workload at `pa`-bit precision (activations
+/// and weights both `pa` bits, `pa` a power of two ≤ the macro's
+/// configured precision).
+///
+/// `passes` holds one activation vector (length `h`) per pass;
+/// `weights[ch]` holds the `h` signed weights of output channel `ch`
+/// (`ch < w / pa`). Weights are preloaded into bank 0.
+///
+/// Every channel output of every pass is compared against
+/// [`DcimChannelTrace`]; power comes from the observed toggles.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if any output disagrees
+/// with the golden model.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches (wrong vector lengths, `pa` larger
+/// than the macro supports).
+pub fn measure_int(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    pa: u32,
+    passes: &[Vec<i64>],
+    weights: &[Vec<i64>],
+    op: OperatingPoint,
+    f_mhz: f64,
+) -> Result<MacMeasurement, CoreError> {
+    let mac = &im.mac;
+    assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
+    let channels = mac.w / pa as usize;
+    assert_eq!(weights.len(), channels, "need one weight vector per channel");
+    assert!(weights.iter().all(|w| w.len() == mac.h));
+    assert!(passes.iter().all(|a| a.len() == mac.h));
+
+    let mut sim = Simulator::new(&mac.module, lib)?;
+    preload_weights(&mut sim, mac, pa, weights);
+    configure_precision(&mut sim, mac, pa);
+    quiesce(&mut sim, mac);
+    sim.reset_activity();
+
+    let mut checked = 0usize;
+    for acts in passes {
+        run_pass(&mut sim, mac, pa, acts);
+        for (ch, wvec) in weights.iter().enumerate() {
+            let got = read_channel(&sim, mac, pa, ch);
+            let want = DcimChannelTrace::run(acts, wvec, pa, pa).output;
+            if got != want {
+                return Err(CoreError::FunctionalMismatch { channel: ch, got, want });
+            }
+            checked += 1;
+        }
+    }
+
+    let measurement = finish_measurement(im, lib, &sim, pa, pa, passes.len(), op, f_mhz);
+    Ok(MacMeasurement { checked_outputs: checked, ..measurement })
+}
+
+/// Measure an FP MAC workload in the macro's configured FP format. FP
+/// activations go through the on-macro alignment unit; FP weights are
+/// pre-aligned (as the paper's flow stores them) and written as signed
+/// mantissas across `next_power_of_two(man+2)` columns.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if the hardware disagrees
+/// with [`syndcim_sim::golden::fp_dot`] semantics.
+///
+/// # Panics
+///
+/// Panics if the macro was built without an FP precision.
+pub fn measure_fp(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    passes: &[Vec<FpValue>],
+    weights: &[Vec<FpValue>],
+    op: OperatingPoint,
+    f_mhz: f64,
+) -> Result<MacMeasurement, CoreError> {
+    let mac = &im.mac;
+    let fmt = mac.fp.expect("macro has no FP alignment unit");
+    let pa = fmt.aligned_bits();
+    let pw = pa.next_power_of_two().max(2);
+    let channels = mac.w / pw as usize;
+    assert_eq!(weights.len(), channels);
+
+    // Pre-align weights per channel (offline, like the paper's flow).
+    let aligned_w: Vec<Vec<i64>> = weights.iter().map(|wv| fp_align(wv, fmt).0).collect();
+
+    let mut sim = Simulator::new(&mac.module, lib)?;
+    preload_weights(&mut sim, mac, pw, &aligned_w);
+    configure_precision(&mut sim, mac, pw);
+    quiesce(&mut sim, mac);
+    sim.reset_activity();
+
+    let mut checked = 0usize;
+    for acts in passes {
+        // Feed the FP operands through the alignment unit (one cycle to
+        // its output register).
+        for (r, v) in acts.iter().enumerate() {
+            sim.set(&format!("fp_s{r}"), v.sign);
+            sim.set_bus(&format!("fp_e{r}"), fmt.exp_bits, v.exp_field as i64);
+            sim.set_bus(&format!("fp_m{r}"), fmt.man_bits, v.man_field as i64);
+        }
+        sim.step();
+        if mac.choice.align_pipelined {
+            // Mid-tree and e_max register banks add two cycles.
+            sim.step();
+            sim.step();
+        }
+        let aligned_a: Vec<i64> = (0..mac.h).map(|r| sim.get_bus_signed(&format!("al{r}"), pa)).collect();
+        // The on-macro alignment must match the golden model bit-exactly.
+        let (golden_a, _emax) = fp_align(acts, fmt);
+        if aligned_a != golden_a {
+            return Err(CoreError::FunctionalMismatch {
+                channel: usize::MAX,
+                got: aligned_a[0],
+                want: golden_a[0],
+            });
+        }
+        // Bit-serial MAC over the aligned mantissas.
+        run_pass(&mut sim, mac, pa, &aligned_a);
+        for (ch, wv) in aligned_w.iter().enumerate() {
+            let got = read_channel_at(&sim, mac, pa, pw, ch);
+            let want = int_dot(&aligned_a, wv);
+            if got != want {
+                return Err(CoreError::FunctionalMismatch { channel: ch, got, want });
+            }
+            checked += 1;
+        }
+    }
+
+    let measurement = finish_measurement(im, lib, &sim, pa, pw, passes.len(), op, f_mhz);
+    Ok(MacMeasurement { checked_outputs: checked, ..measurement })
+}
+
+/// Result of a weight-update measurement.
+#[derive(Debug, Clone)]
+pub struct WeightUpdateMeasurement {
+    /// Energy per written weight bit, in fJ.
+    pub energy_per_bit_fj: f64,
+    /// Write bandwidth at the measurement frequency, in Gb/s.
+    pub bandwidth_gbps: f64,
+    /// Bits written during the measurement.
+    pub bits_written: usize,
+}
+
+/// Measure the weight-update path: stream random weights into every
+/// (bank, row) through the real write port (BL drivers + address
+/// decoder + bitcell capture) and account the switching energy — the
+/// dimension-dependent driver cost the paper attributes to WL/BL
+/// drivers, and the per-bitcell write cost that differentiates the cell
+/// variants.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if any bitcell fails to
+/// capture its written value.
+pub fn measure_weight_update(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    op: OperatingPoint,
+    f_mhz: f64,
+    seed: u64,
+) -> Result<WeightUpdateMeasurement, CoreError> {
+    use rand_like::next_bit;
+    let mac = &im.mac;
+    let mut sim = Simulator::new(&mac.module, lib)?;
+    configure_precision(&mut sim, mac, mac.w_bits);
+    quiesce(&mut sim, mac);
+    sim.reset_activity();
+
+    let mut state = seed | 1;
+    let mut expect: Vec<Vec<Vec<bool>>> = vec![vec![vec![false; mac.w]; mac.h]; mac.mcr];
+    for bank in 0..mac.mcr {
+        for row in 0..mac.h {
+            sim.set("wr_en", true);
+            sim.set_bus("wr_row", mac.h.trailing_zeros(), row as i64);
+            if mac.mcr > 1 {
+                sim.set_bus("wr_bank", mac.mcr.trailing_zeros(), bank as i64);
+            }
+            for c in 0..mac.w {
+                let bit = next_bit(&mut state);
+                expect[bank][row][c] = bit;
+                sim.set(&format!("wbl[{c}]"), bit);
+            }
+            sim.step();
+        }
+    }
+    sim.set("wr_en", false);
+    let cycles = sim.cycles();
+
+    // Verify every bitcell captured its bit.
+    for bc in &mac.bitcells {
+        let want = expect[bc.bank][bc.row][bc.col];
+        if sim.state_of(bc.inst) != want {
+            return Err(CoreError::FunctionalMismatch {
+                channel: bc.col,
+                got: sim.state_of(bc.inst) as i64,
+                want: want as i64,
+            });
+        }
+    }
+
+    let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)?;
+    let power = analyzer.from_activity(sim.toggle_table(), cycles, f_mhz, op);
+    let bits = mac.w * mac.h * mac.mcr;
+    let total_energy_fj = power.energy_per_cycle_pj * 1000.0 * cycles as f64;
+    Ok(WeightUpdateMeasurement {
+        energy_per_bit_fj: total_energy_fj / bits as f64,
+        bandwidth_gbps: mac.w as f64 * f_mhz * 1e6 / 1e9,
+        bits_written: bits,
+    })
+}
+
+/// Tiny xorshift bit source (keeps `rand` out of the library API).
+mod rand_like {
+    pub fn next_bit(state: &mut u64) -> bool {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state & 1 == 1
+    }
+}
+
+fn preload_weights(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pw: u32, weights: &[Vec<i64>]) {
+    for bc in &mac.bitcells {
+        if bc.bank != 0 {
+            continue;
+        }
+        let ch = bc.col / pw as usize;
+        let j = (bc.col % pw as usize) as u32;
+        if ch < weights.len() {
+            let bit = twos_complement_bit(weights[ch][bc.row], pw, j);
+            sim.force_state(bc.inst, bit);
+        }
+    }
+}
+
+fn configure_precision(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pw: u32) {
+    let level = pw.trailing_zeros() as usize;
+    for k in 0..=(mac.w_bits.trailing_zeros() as usize) {
+        sim.set(&format!("prec[{k}]"), k == level);
+    }
+    // Bank 0 selected; write interface idle.
+    for k in 0..mac.mcr.trailing_zeros() as usize {
+        sim.set(&format!("bank_sel[{k}]"), false);
+    }
+    sim.set("wr_en", false);
+}
+
+fn quiesce(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist) {
+    for r in 0..mac.h {
+        sim.set(&format!("act[{r}]"), false);
+    }
+    sim.set("neg", false);
+    sim.set("clear", false);
+    sim.step();
+    sim.step();
+}
+
+/// Drive one bit-serial pass of `pa`-bit activations and leave the
+/// accumulators holding the completed pass.
+fn run_pass(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, acts: &[i64]) {
+    let depth = mac.mac_pipeline_depth as u32;
+    let schedule = bit_serial_schedule(acts, pa);
+    let total = pa + depth + u32::from(mac.choice.ofu_extra_pipe);
+    for cycle in 0..total {
+        // Activation bits enter on cycles 0..pa.
+        for (r, _) in acts.iter().enumerate() {
+            let bit = if cycle < pa { schedule[cycle as usize][r] } else { false };
+            sim.set(&format!("act[{r}]"), bit);
+        }
+        // S&A controls are aligned to the psum arrival (delayed by the
+        // pipeline registers between tree and accumulator).
+        sim.set("clear", cycle == depth);
+        sim.set("neg", cycle == pa - 1 + depth);
+        sim.step();
+    }
+    sim.set("neg", false);
+}
+
+fn read_channel(sim: &Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, ch: usize) -> i64 {
+    read_channel_at(sim, mac, pa, pa, ch)
+}
+
+/// Read channel `ch` fused over `pw` columns after a `pa`-bit pass. The
+/// S&A places results at a fixed offset for the macro's full serial
+/// width, so shorter passes come out scaled by `2^(n−pa)`.
+fn read_channel_at(sim: &Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, pw: u32, ch: usize) -> i64 {
+    let level = pw.trailing_zeros() as usize;
+    let per_group = (mac.w_bits / pw) as usize;
+    let g = ch / per_group;
+    let i = ch % per_group;
+    let width = mac.output_width(level) as u32;
+    let raw = sim.get_bus_signed(&mac.output_port(g, level, i), width);
+    let scale_shift = mac.act_bits - pa;
+    debug_assert_eq!(
+        raw & ((1 << scale_shift) - 1),
+        0,
+        "low bits below the serial offset must be zero"
+    );
+    raw >> scale_shift
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_measurement(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    sim: &Simulator<'_>,
+    pa: u32,
+    pw: u32,
+    passes: usize,
+    op: OperatingPoint,
+    f_mhz: f64,
+) -> MacMeasurement {
+    let mac = &im.mac;
+    let pa_prec = Precision::Int(pa);
+    let pw_prec = Precision::Int(pw);
+    let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)
+        .expect("implemented macros are well-formed");
+    let power = analyzer.from_activity(sim.toggle_table(), sim.cycles().max(1), f_mhz, op);
+
+    let tput = MacThroughput { h: mac.h, w: mac.w, act: pa_prec, weight: pw_prec };
+    let tops = tput.tops(f_mhz);
+    let tops_1b = tput.tops_1b(f_mhz);
+    let total_uw = power.total_uw();
+    let macs_per_sec = tput.macs_per_pass() / tput.cycles_per_pass() * f_mhz * 1e6;
+    let energy_per_mac_fj = total_uw * 1e-6 / macs_per_sec * 1e15;
+    let _ = passes;
+    MacMeasurement {
+        checked_outputs: 0,
+        power,
+        tops,
+        tops_per_w: tops_per_w(tops, total_uw),
+        tops_per_w_1b: tops_per_w(tops_1b, total_uw),
+        tops_per_mm2_1b: tops_per_mm2(tops_1b, im.placement.die_area_um2()),
+        energy_per_mac_fj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignChoice;
+    use crate::flow::implement;
+    use crate::spec::MacroSpec;
+    use syndcim_sim::vectors::{random_ints, seeded_rng, sparse_ints};
+    use syndcim_sim::FpFormat;
+
+    fn spec_int() -> MacroSpec {
+        MacroSpec {
+            h: 8,
+            w: 8,
+            mcr: 2,
+            int_precisions: vec![1, 2, 4],
+            fp_precisions: vec![],
+            f_mac_mhz: 400.0,
+            f_wu_mhz: 400.0,
+            vdd_v: 0.9,
+            ppa: Default::default(),
+        }
+    }
+
+    #[test]
+    fn int4_and_int2_and_int1_all_verify() {
+        let lib = CellLibrary::syn40();
+        let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
+        let mut rng = seeded_rng(5);
+        for pa in [4u32, 2, 1] {
+            let channels = 8 / pa as usize;
+            let weights: Vec<Vec<i64>> = (0..channels).map(|_| random_ints(&mut rng, 8, pa)).collect();
+            let passes: Vec<Vec<i64>> = (0..4).map(|_| random_ints(&mut rng, 8, pa)).collect();
+            let m = measure_int(&im, &lib, pa, &passes, &weights, OperatingPoint::at_voltage(0.9), 400.0)
+                .unwrap_or_else(|e| panic!("INT{pa}: {e}"));
+            assert_eq!(m.checked_outputs, channels * 4);
+            assert!(m.power.total_uw() > 0.0);
+            assert!(m.tops > 0.0 && m.tops_per_w_1b > 0.0);
+        }
+    }
+
+    #[test]
+    fn retimed_and_split_macros_also_verify() {
+        let lib = CellLibrary::syn40();
+        let mut rng = seeded_rng(7);
+        for choice in [
+            DesignChoice { tree_retimed: true, ..DesignChoice::default() },
+            DesignChoice { column_split: 2, ..DesignChoice::default() },
+            DesignChoice { pipe_tree_sa: false, ..DesignChoice::default() },
+            DesignChoice { ofu_negate_retimed: true, ..DesignChoice::default() },
+            DesignChoice { ofu_extra_pipe: true, ..DesignChoice::default() },
+        ] {
+            let im = implement(&lib, &spec_int(), &choice).unwrap();
+            let weights: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
+            let passes: Vec<Vec<i64>> = (0..3).map(|_| random_ints(&mut rng, 8, 4)).collect();
+            measure_int(&im, &lib, 4, &passes, &weights, OperatingPoint::at_voltage(0.9), 400.0)
+                .unwrap_or_else(|e| panic!("{choice:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sparsity_reduces_power() {
+        let lib = CellLibrary::syn40();
+        let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
+        let mut rng = seeded_rng(11);
+        let dense_w: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let dense_a: Vec<Vec<i64>> = (0..6).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let sparse_w: Vec<Vec<i64>> = (0..2).map(|_| sparse_ints(&mut rng, 8, 4, 0.5)).collect();
+        let sparse_a: Vec<Vec<i64>> =
+            (0..6).map(|_| syndcim_sim::vectors::ints_with_bit_density(&mut rng, 8, 4, 0.125)).collect();
+        let op = OperatingPoint::at_voltage(0.9);
+        let dense = measure_int(&im, &lib, 4, &dense_a, &dense_w, op, 400.0).unwrap();
+        let sparse = measure_int(&im, &lib, 4, &sparse_a, &sparse_w, op, 400.0).unwrap();
+        assert!(
+            sparse.power.dynamic_uw < dense.power.dynamic_uw * 0.8,
+            "sparse {} vs dense {}",
+            sparse.power.dynamic_uw,
+            dense.power.dynamic_uw
+        );
+        assert!(sparse.tops_per_w_1b > dense.tops_per_w_1b);
+    }
+
+    #[test]
+    fn fp4_macs_verify_through_alignment() {
+        let lib = CellLibrary::syn40();
+        let mut spec = spec_int();
+        spec.fp_precisions = vec![FpFormat::FP4];
+        let im = implement(&lib, &spec, &DesignChoice::default()).unwrap();
+        let mut rng = seeded_rng(13);
+        let channels = 8 / 4; // FP4 aligned = 3 bits → 4 columns
+        let weights: Vec<Vec<FpValue>> =
+            (0..channels).map(|_| syndcim_sim::vectors::random_fp(&mut rng, 8, FpFormat::FP4)).collect();
+        let passes: Vec<Vec<FpValue>> =
+            (0..3).map(|_| syndcim_sim::vectors::random_fp(&mut rng, 8, FpFormat::FP4)).collect();
+        let m = measure_fp(&im, &lib, &passes, &weights, OperatingPoint::at_voltage(0.9), 400.0).unwrap();
+        assert_eq!(m.checked_outputs, channels * 3);
+    }
+
+    #[test]
+    fn weight_update_measurement_verifies_and_differentiates_cells() {
+        use syndcim_subckt::BitcellKind;
+        let lib = CellLibrary::syn40();
+        let op = OperatingPoint::at_voltage(0.9);
+        let mut per_cell = Vec::new();
+        for bitcell in [BitcellKind::Sram6T2T, BitcellKind::Latch8T] {
+            let im = implement(&lib, &spec_int(), &DesignChoice { bitcell, ..DesignChoice::default() }).unwrap();
+            let m = measure_weight_update(&im, &lib, op, 400.0, 99).unwrap();
+            assert_eq!(m.bits_written, 8 * 8 * 2);
+            assert!(m.energy_per_bit_fj > 0.0);
+            per_cell.push(m.energy_per_bit_fj);
+        }
+        // The 8T latch writes cost more energy than the 6T+2T cell.
+        assert!(per_cell[1] > per_cell[0] * 0.9, "{per_cell:?}");
+    }
+}

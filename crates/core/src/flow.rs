@@ -1,0 +1,129 @@
+//! Implementation and sign-off flow (§III-D, Fig. 6): netlist cleanup →
+//! SDP placement → DRC/LVS checks → parasitic extraction → post-layout
+//! STA — the Design-Compiler + Innovus + PrimeTime loop of the paper.
+
+use syndcim_layout::{check_drc, extract_wires, place, FloorplanConfig, Placement, WireEstimates};
+use syndcim_netlist::{optimize, OptReport};
+use syndcim_pdk::{CellLibrary, OperatingPoint};
+use syndcim_sta::{Sta, TimingReport, WireLoads};
+
+use crate::assemble::{assemble, MacroNetlist};
+use crate::design::DesignChoice;
+use crate::error::CoreError;
+use crate::spec::MacroSpec;
+
+/// A fully implemented macro: netlist + layout + post-layout timing.
+#[derive(Debug)]
+pub struct ImplementedMacro {
+    /// The (cleaned) macro netlist and metadata.
+    pub mac: MacroNetlist,
+    /// SDP placement result.
+    pub placement: Placement,
+    /// Extracted wire parasitics.
+    pub wires: WireEstimates,
+    /// Netlist-cleanup statistics.
+    pub synth_report: OptReport,
+    /// Post-layout timing at the spec supply.
+    pub timing: TimingReport,
+    /// The spec this macro implements.
+    pub spec: MacroSpec,
+}
+
+impl ImplementedMacro {
+    /// Die area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.placement.die_area_mm2()
+    }
+
+    /// Post-layout maximum frequency in MHz at an operating point.
+    pub fn fmax_mhz(&self, lib: &CellLibrary, op: OperatingPoint) -> f64 {
+        let sta = Sta::new(&self.mac.module, lib)
+            .expect("implemented macros are well-formed")
+            .with_wire_loads(WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() });
+        sta.fmax_mhz(op)
+    }
+
+    /// Post-layout timing report at an arbitrary period/corner.
+    pub fn timing_at(&self, lib: &CellLibrary, period_ps: f64, op: OperatingPoint) -> TimingReport {
+        let sta = Sta::new(&self.mac.module, lib)
+            .expect("implemented macros are well-formed")
+            .with_wire_loads(WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() });
+        sta.analyze_at(period_ps, op)
+    }
+}
+
+/// Run the full implementation flow for one design choice.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the spec is invalid, the netlist fails
+/// validation, or the layout violates design rules.
+pub fn implement(lib: &CellLibrary, spec: &MacroSpec, choice: &DesignChoice) -> Result<ImplementedMacro, CoreError> {
+    spec.validate()?;
+    let mut mac = assemble(lib, spec, choice);
+
+    // "Synthesis": constant folding + dead-gate sweep over the generated
+    // structure.
+    let synth_report = optimize(&mut mac.module, lib);
+
+    // SDP place-and-route + checks.
+    let placement = place(&mac.module, lib, FloorplanConfig::default())?;
+    check_drc(&mac.module, &placement)?;
+    let wires = extract_wires(&mac.module, lib, &placement)?;
+
+    // Post-layout sign-off at the spec corner.
+    let sta = Sta::new(&mac.module, lib)?
+        .with_wire_loads(WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() });
+    let timing = sta.analyze_at(spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
+
+    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> MacroSpec {
+        MacroSpec {
+            h: 8,
+            w: 8,
+            mcr: 2,
+            int_precisions: vec![1, 2, 4],
+            fp_precisions: vec![],
+            f_mac_mhz: 400.0,
+            f_wu_mhz: 400.0,
+            vdd_v: 0.9,
+            ppa: Default::default(),
+        }
+    }
+
+    #[test]
+    fn flow_produces_clean_layout_and_timing() {
+        let lib = CellLibrary::syn40();
+        let im = implement(&lib, &tiny_spec(), &DesignChoice::default()).unwrap();
+        assert!(im.area_mm2() > 0.0);
+        assert!(im.timing.max_delay_ps > 0.0);
+        assert!(im.wires.total_wirelength_um > 0.0);
+        // Post-layout fmax falls with voltage.
+        let f09 = im.fmax_mhz(&lib, OperatingPoint::at_voltage(0.9));
+        let f07 = im.fmax_mhz(&lib, OperatingPoint::at_voltage(0.7));
+        assert!(f09 > f07);
+    }
+
+    #[test]
+    fn post_layout_is_slower_than_pre_layout() {
+        let lib = CellLibrary::syn40();
+        let im = implement(&lib, &tiny_spec(), &DesignChoice::default()).unwrap();
+        let pre = Sta::new(&im.mac.module, &lib).unwrap().analyze(1e6).max_delay_ps;
+        let post = im.timing_at(&lib, 1e6, OperatingPoint::at_voltage(0.9)).max_delay_ps;
+        assert!(post > pre, "wires must add delay: pre={pre} post={post}");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let lib = CellLibrary::syn40();
+        let mut spec = tiny_spec();
+        spec.mcr = 3;
+        assert!(implement(&lib, &spec, &DesignChoice::default()).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Pareto-frontier extraction over design points.
+//!
+//! "A series of DCIM designs at Pareto frontiers are generated for
+//! subsequent synthesis and APR" (§III-A). Points are compared on
+//! (power, area, latency), all minimized; only timing-met points are
+//! eligible.
+
+use crate::design::DesignPoint;
+
+fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let ae = &a.est;
+    let be = &b.est;
+    let le = ae.power_uw <= be.power_uw && ae.area_um2 <= be.area_um2 && ae.latency_cycles <= be.latency_cycles;
+    let lt = ae.power_uw < be.power_uw || ae.area_um2 < be.area_um2 || ae.latency_cycles < be.latency_cycles;
+    le && lt
+}
+
+/// Extract the non-dominated subset of `points` (timing-met points
+/// only). Duplicate-PPA points keep one representative.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let met: Vec<&DesignPoint> = points.iter().filter(|p| p.est.timing_met).collect();
+    let mut out: Vec<DesignPoint> = Vec::new();
+    'outer: for (i, p) in met.iter().enumerate() {
+        for (j, q) in met.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        // Deduplicate identical PPA.
+        if out.iter().any(|r| {
+            (r.est.power_uw - p.est.power_uw).abs() < 1e-9
+                && (r.est.area_um2 - p.est.area_um2).abs() < 1e-9
+                && r.est.latency_cycles == p.est.latency_cycles
+        }) {
+            continue;
+        }
+        out.push((*p).clone());
+    }
+    // Stable presentation order: by power ascending.
+    out.sort_by(|a, b| a.est.power_uw.partial_cmp(&b.est.power_uw).expect("finite power"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignChoice, PpaEstimate};
+
+    fn pt(power: f64, area: f64, latency: usize, met: bool) -> DesignPoint {
+        DesignPoint {
+            choice: DesignChoice::default(),
+            est: PpaEstimate {
+                power_uw: power,
+                area_um2: area,
+                latency_cycles: latency,
+                timing_met: met,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = vec![pt(10.0, 10.0, 5, true), pt(20.0, 20.0, 5, true), pt(5.0, 30.0, 5, true)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|p| p.est.power_uw != 20.0));
+    }
+
+    #[test]
+    fn timing_violators_are_excluded() {
+        let pts = vec![pt(1.0, 1.0, 1, false), pt(10.0, 10.0, 5, true)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].est.timing_met);
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominating() {
+        let pts: Vec<DesignPoint> = (0..20)
+            .map(|i| pt(10.0 + (i as f64 * 7.0) % 50.0, 100.0 - (i as f64 * 13.0) % 80.0, (i % 4) + 1, true))
+            .collect();
+        let f = pareto_frontier(&pts);
+        for a in &f {
+            for b in &f {
+                if a.est != b.est {
+                    assert!(!dominates(a, b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![pt(10.0, 10.0, 5, true), pt(10.0, 10.0, 5, true)];
+        assert_eq!(pareto_frontier(&pts).len(), 1);
+    }
+
+    #[test]
+    fn sorted_by_power() {
+        let pts = vec![pt(30.0, 1.0, 5, true), pt(10.0, 3.0, 5, true), pt(20.0, 2.0, 5, true)];
+        let f = pareto_frontier(&pts);
+        let powers: Vec<f64> = f.iter().map(|p| p.est.power_uw).collect();
+        assert_eq!(powers, vec![10.0, 20.0, 30.0]);
+    }
+}

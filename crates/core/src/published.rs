@@ -1,0 +1,225 @@
+//! Published reference data for the paper's comparison tables.
+//!
+//! Table I compares emerging CIM compilers by feature; Table II compares
+//! the SynDCIM test chip against state-of-the-art manually designed DCIM
+//! macros. Competitor numbers are quoted from their publications (as
+//! the paper itself does); only the SynDCIM macro is "measured" by this
+//! reproduction's flow.
+
+/// One row of Table I (CIM compiler feature comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerFeatures {
+    /// Compiler name.
+    pub name: &'static str,
+    /// Publication venue/year.
+    pub venue: &'static str,
+    /// Digital (vs analog) CIM target.
+    pub digital: bool,
+    /// Generates full macro layout automatically.
+    pub layout_generation: bool,
+    /// Parameterized INT/FP precision support.
+    pub fp_support: bool,
+    /// Memory-compute-ratio-aware array generation.
+    pub mcr_aware: bool,
+    /// Optimizes subcircuit selection against user performance specs.
+    pub performance_aware: bool,
+    /// Multi-spec-oriented subcircuit synthesis (Pareto search).
+    pub multi_spec_synthesis: bool,
+    /// Silicon-validated.
+    pub silicon_validated: bool,
+}
+
+/// The Table I feature matrix.
+pub fn table1_compilers() -> Vec<CompilerFeatures> {
+    vec![
+        CompilerFeatures {
+            name: "AutoDCIM",
+            venue: "DAC'23",
+            digital: true,
+            layout_generation: true,
+            fp_support: false,
+            mcr_aware: false,
+            performance_aware: false,
+            multi_spec_synthesis: false,
+            silicon_validated: false,
+        },
+        CompilerFeatures {
+            name: "Lanius et al.",
+            venue: "ISLPED'23",
+            digital: true,
+            layout_generation: true,
+            fp_support: false,
+            mcr_aware: false,
+            performance_aware: false,
+            multi_spec_synthesis: false,
+            silicon_validated: false,
+        },
+        CompilerFeatures {
+            name: "EasyACIM",
+            venue: "arXiv'24",
+            digital: false,
+            layout_generation: true,
+            fp_support: false,
+            mcr_aware: false,
+            performance_aware: true,
+            multi_spec_synthesis: false,
+            silicon_validated: false,
+        },
+        CompilerFeatures {
+            name: "ARCTIC",
+            venue: "DATE'24",
+            digital: true,
+            layout_generation: true,
+            fp_support: true,
+            mcr_aware: false,
+            performance_aware: false,
+            multi_spec_synthesis: false,
+            silicon_validated: false,
+        },
+        CompilerFeatures {
+            name: "SynDCIM (this work)",
+            venue: "DATE'25",
+            digital: true,
+            layout_generation: true,
+            fp_support: true,
+            mcr_aware: true,
+            performance_aware: true,
+            multi_spec_synthesis: true,
+            silicon_validated: true,
+        },
+    ]
+}
+
+/// One row of Table II (state-of-the-art DCIM macro comparison).
+/// Efficiency numbers are 1b×1b-normalized, as in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcimReference {
+    /// Design label.
+    pub name: &'static str,
+    /// Venue/year.
+    pub venue: &'static str,
+    /// Process node in nm.
+    pub node_nm: u32,
+    /// Macro supply range (min, max) in volts.
+    pub vdd_v: (f64, f64),
+    /// Peak clock in MHz.
+    pub fmax_mhz: f64,
+    /// Energy efficiency, TOPS/W (1b-scaled, best reported conditions).
+    pub tops_per_w_1b: f64,
+    /// Area efficiency, TOPS/mm² (1b-scaled).
+    pub tops_per_mm2_1b: f64,
+    /// Designed manually (vs compiler-generated).
+    pub manual: bool,
+}
+
+/// The Table II reference rows (published silicon).
+pub fn table2_references() -> Vec<DcimReference> {
+    vec![
+        DcimReference {
+            name: "TSMC 22nm DCIM [1]",
+            venue: "ISSCC'21",
+            node_nm: 22,
+            vdd_v: (0.72, 0.72),
+            fmax_mhz: 1000.0,
+            tops_per_w_1b: 89.0 * 64.0 / 64.0, // reported 89 TOPS/W INT8-normalized… quoted as-is
+            tops_per_mm2_1b: 16.3 * 64.0 / 64.0,
+            manual: true,
+        },
+        DcimReference {
+            name: "TSMC 5nm DCIM [2]",
+            venue: "ISSCC'22",
+            node_nm: 5,
+            vdd_v: (0.5, 0.9),
+            fmax_mhz: 1100.0,
+            tops_per_w_1b: 254.0,
+            tops_per_mm2_1b: 221.0,
+            manual: true,
+        },
+        DcimReference {
+            name: "TSMC 4nm DCIM [3]",
+            venue: "ISSCC'23",
+            node_nm: 4,
+            vdd_v: (0.32, 1.0),
+            fmax_mhz: 1400.0,
+            tops_per_w_1b: 6163.0,
+            tops_per_mm2_1b: 4790.0,
+            manual: true,
+        },
+        DcimReference {
+            name: "TSMC 3nm DCIM [4]",
+            venue: "ISSCC'24",
+            node_nm: 3,
+            vdd_v: (0.45, 0.9),
+            fmax_mhz: 1300.0,
+            tops_per_w_1b: 32.5 * 144.0, // INT12×INT12 → 1b scaling
+            tops_per_mm2_1b: 55.0 * 144.0,
+            manual: true,
+        },
+        DcimReference {
+            name: "SynDCIM test chip (paper)",
+            venue: "DATE'25",
+            node_nm: 40,
+            vdd_v: (0.7, 1.2),
+            fmax_mhz: 1100.0,
+            tops_per_w_1b: 1921.0,
+            tops_per_mm2_1b: 80.5,
+            manual: false,
+        },
+    ]
+}
+
+/// Paper-reported anchor numbers for the SynDCIM test chip, used by the
+/// benches to print paper-vs-measured rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperAnchors {
+    /// Peak frequency at 1.2 V, MHz.
+    pub fmax_1v2_mhz: f64,
+    /// Peak frequency at 0.7 V, MHz.
+    pub fmax_0v7_mhz: f64,
+    /// Throughput at 1.2 V (1b×1b), TOPS.
+    pub tops_1b: f64,
+    /// Macro area, mm².
+    pub area_mm2: f64,
+    /// Energy efficiency at the Table II condition (INT4, 12.5 % input
+    /// sparsity, 50 % weight sparsity, 25 °C), 1b-scaled, TOPS/W.
+    pub tops_per_w_1b: f64,
+    /// Area efficiency (1b-scaled), TOPS/mm².
+    pub tops_per_mm2_1b: f64,
+}
+
+/// The paper's measured test-chip numbers.
+pub fn paper_anchors() -> PaperAnchors {
+    PaperAnchors {
+        fmax_1v2_mhz: 1100.0,
+        fmax_0v7_mhz: 300.0,
+        tops_1b: 9.0,
+        area_mm2: 0.112,
+        tops_per_w_1b: 1921.0,
+        tops_per_mm2_1b: 80.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_syndcim_is_performance_aware_and_multi_spec() {
+        let rows = table1_compilers();
+        let syn: Vec<_> = rows.iter().filter(|r| r.multi_spec_synthesis).collect();
+        assert_eq!(syn.len(), 1);
+        assert!(syn[0].name.contains("SynDCIM"));
+        assert!(syn[0].performance_aware && syn[0].silicon_validated);
+    }
+
+    #[test]
+    fn table2_contains_the_paper_chip_with_consistent_anchors() {
+        let rows = table2_references();
+        let chip = rows.iter().find(|r| r.name.contains("SynDCIM")).unwrap();
+        let anchors = paper_anchors();
+        assert_eq!(chip.tops_per_w_1b, anchors.tops_per_w_1b);
+        assert_eq!(chip.fmax_mhz, anchors.fmax_1v2_mhz);
+        // Paper consistency: 2·64·64·1.1 GHz ≈ 9 TOPS; 9/0.112 ≈ 80.5.
+        assert!((anchors.tops_1b / anchors.area_mm2 - anchors.tops_per_mm2_1b).abs() < 0.5);
+    }
+}

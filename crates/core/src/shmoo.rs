@@ -1,0 +1,138 @@
+//! Shmoo analysis: voltage–frequency pass/fail map of an implemented
+//! macro (Fig. 9 of the paper).
+//!
+//! A (V, f) point *passes* when the post-layout worst slack at that
+//! supply is non-negative and the supply is above the SRAM retention
+//! limit. This is exactly what a tester shmoo measures, with the
+//! alpha-power-scaled STA standing in for silicon.
+
+use syndcim_pdk::{CellLibrary, OperatingPoint};
+
+use crate::flow::ImplementedMacro;
+
+/// Minimum supply for reliable bitcell operation (read/write margin),
+/// in volts.
+pub const V_MIN_FUNCTIONAL: f64 = 0.58;
+
+/// One shmoo grid.
+#[derive(Debug, Clone)]
+pub struct Shmoo {
+    /// Supply axis, volts (ascending).
+    pub voltages: Vec<f64>,
+    /// Frequency axis, MHz (ascending).
+    pub freqs_mhz: Vec<f64>,
+    /// `pass[vi][fi]` — true when the macro runs at `freqs_mhz[fi]` at
+    /// `voltages[vi]`.
+    pub pass: Vec<Vec<bool>>,
+}
+
+impl Shmoo {
+    /// Maximum passing frequency at a voltage, if any.
+    pub fn fmax_at(&self, vi: usize) -> Option<f64> {
+        self.pass[vi]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &p)| p)
+            .map(|(fi, _)| self.freqs_mhz[fi])
+    }
+
+    /// Render the classic shmoo plot (rows = voltage descending,
+    /// columns = frequency ascending; `■` pass, `·` fail).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("  V\\f(MHz) ");
+        for f in &self.freqs_mhz {
+            s.push_str(&format!("{f:>6.0}"));
+        }
+        s.push('\n');
+        for (vi, v) in self.voltages.iter().enumerate().rev() {
+            s.push_str(&format!("  {v:>7.2}V "));
+            for p in &self.pass[vi] {
+                s.push_str(if *p { "     ■" } else { "     ·" });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Sweep the shmoo grid for `im`.
+pub fn shmoo(im: &ImplementedMacro, lib: &CellLibrary, voltages: &[f64], freqs_mhz: &[f64]) -> Shmoo {
+    let mut pass = Vec::with_capacity(voltages.len());
+    for &v in voltages {
+        let mut row = Vec::with_capacity(freqs_mhz.len());
+        if v < V_MIN_FUNCTIONAL {
+            row.resize(freqs_mhz.len(), false);
+        } else {
+            let fmax = im.fmax_mhz(lib, OperatingPoint::at_voltage(v));
+            for &f in freqs_mhz {
+                row.push(f <= fmax);
+            }
+        }
+        pass.push(row);
+    }
+    Shmoo { voltages: voltages.to_vec(), freqs_mhz: freqs_mhz.to_vec(), pass }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignChoice;
+    use crate::flow::implement;
+    use crate::spec::MacroSpec;
+
+    fn implemented() -> (ImplementedMacro, CellLibrary) {
+        let lib = CellLibrary::syn40();
+        let spec = MacroSpec {
+            h: 8,
+            w: 8,
+            mcr: 1,
+            int_precisions: vec![1, 2, 4],
+            fp_precisions: vec![],
+            f_mac_mhz: 400.0,
+            f_wu_mhz: 400.0,
+            vdd_v: 0.9,
+            ppa: Default::default(),
+        };
+        let im = implement(&lib, &spec, &DesignChoice::default()).unwrap();
+        (im, lib)
+    }
+
+    #[test]
+    fn shmoo_is_monotone_in_voltage_and_frequency() {
+        let (im, lib) = implemented();
+        let vs = [0.5, 0.7, 0.9, 1.1, 1.2];
+        let fs = [100.0, 300.0, 600.0, 1200.0, 2400.0];
+        let s = shmoo(&im, &lib, &vs, &fs);
+        // Below retention voltage: everything fails.
+        assert!(s.pass[0].iter().all(|p| !p));
+        // Along frequency: once failing, always failing.
+        for row in &s.pass {
+            let mut seen_fail = false;
+            for &p in row {
+                if seen_fail {
+                    assert!(!p, "pass after fail breaks shmoo monotonicity");
+                }
+                seen_fail |= !p;
+            }
+        }
+        // Along voltage: fmax must not decrease.
+        let mut prev = 0.0;
+        for vi in 1..vs.len() {
+            let f = s.fmax_at(vi).unwrap_or(0.0);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn render_contains_axes_and_marks() {
+        let (im, lib) = implemented();
+        let s = shmoo(&im, &lib, &[0.9, 1.2], &[100.0, 100_000.0]);
+        let art = s.render();
+        assert!(art.contains("1.20V"));
+        assert!(art.contains('■'), "{art}");
+        assert!(art.contains('·'), "a 100 GHz point must fail:\n{art}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Design-rule and layout-vs-schematic style checks.
+//!
+//! The paper's flow runs DRC and LVS before post-layout sign-off. In
+//! this reproduction:
+//!
+//! * **DRC** — no two placed cells overlap, every cell lies within the
+//!   die outline (checked with a spatial hash so macros with hundreds of
+//!   thousands of cells stay fast);
+//! * **LVS** — the placement covers exactly the instances of the netlist
+//!   (one footprint per instance, no extras), so layout and "schematic"
+//!   agree by construction; the check validates that invariant.
+
+use crate::place::{LayoutError, Placement};
+use syndcim_netlist::Module;
+
+/// Run all layout checks.
+///
+/// # Errors
+///
+/// Returns the first violation found ([`LayoutError::Overlap`] or
+/// [`LayoutError::OutOfDie`]).
+pub fn check_drc(module: &Module, placement: &Placement) -> Result<(), LayoutError> {
+    // LVS-style coverage: one placed footprint per netlist instance.
+    assert_eq!(
+        placement.cells.len(),
+        module.instance_count(),
+        "placement must cover exactly the netlist instances"
+    );
+
+    // Die containment.
+    for pc in &placement.cells {
+        if !placement.die.contains(&pc.rect) {
+            return Err(LayoutError::OutOfDie { inst: module.instances[pc.inst.index()].name.clone() });
+        }
+    }
+
+    // Overlaps via a uniform spatial hash.
+    let bin = 8.0f64; // µm
+    let nx = (placement.die.w_um / bin).ceil().max(1.0) as usize;
+    let ny = (placement.die.h_um / bin).ceil().max(1.0) as usize;
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    let clamp = |v: f64, n: usize| -> usize { (v / bin).floor().max(0.0).min((n - 1) as f64) as usize };
+    for (i, pc) in placement.cells.iter().enumerate() {
+        let x0 = clamp(pc.rect.x_um, nx);
+        let x1 = clamp(pc.rect.right(), nx);
+        let y0 = clamp(pc.rect.y_um, ny);
+        let y1 = clamp(pc.rect.top(), ny);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                let cell_bin = &mut grid[gy * nx + gx];
+                for &j in cell_bin.iter() {
+                    let other = &placement.cells[j as usize];
+                    if pc.rect.overlaps(&other.rect) {
+                        return Err(LayoutError::Overlap {
+                            a: module.instances[other.inst.index()].name.clone(),
+                            b: module.instances[pc.inst.index()].name.clone(),
+                        });
+                    }
+                }
+                cell_bin.push(i as u32);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::place::{place, FloorplanConfig};
+    use syndcim_netlist::NetlistBuilder;
+    use syndcim_pdk::CellLibrary;
+
+    fn small(lib: &CellLibrary) -> Module {
+        let mut b = NetlistBuilder::new("s", lib);
+        let a = b.input("a");
+        b.push_group("col0");
+        let x = b.not(a);
+        let y = b.xor2(x, a);
+        b.pop_group();
+        b.output("y", y);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_placement_passes() {
+        let lib = CellLibrary::syn40();
+        let m = small(&lib);
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        check_drc(&m, &p).unwrap();
+    }
+
+    #[test]
+    fn forced_overlap_is_caught() {
+        let lib = CellLibrary::syn40();
+        let m = small(&lib);
+        let mut p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        p.cells[1].rect = p.cells[0].rect;
+        assert!(matches!(check_drc(&m, &p), Err(LayoutError::Overlap { .. })));
+    }
+
+    #[test]
+    fn out_of_die_is_caught() {
+        let lib = CellLibrary::syn40();
+        let m = small(&lib);
+        let mut p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        p.cells[0].rect = Rect::new(p.die.right() + 1.0, 0.0, 1.0, 1.0);
+        assert!(matches!(check_drc(&m, &p), Err(LayoutError::OutOfDie { .. })));
+    }
+}

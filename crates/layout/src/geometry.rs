@@ -1,0 +1,83 @@
+//! Planar geometry primitives for placement.
+
+/// An axis-aligned rectangle in micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x_um: f64,
+    /// Bottom edge.
+    pub y_um: f64,
+    /// Width.
+    pub w_um: f64,
+    /// Height.
+    pub h_um: f64,
+}
+
+impl Rect {
+    /// Construct from origin and size.
+    pub fn new(x_um: f64, y_um: f64, w_um: f64, h_um: f64) -> Self {
+        Rect { x_um, y_um, w_um, h_um }
+    }
+
+    /// Area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.w_um * self.h_um
+    }
+
+    /// Centre point `(x, y)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x_um + self.w_um / 2.0, self.y_um + self.h_um / 2.0)
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x_um + self.w_um
+    }
+
+    /// Top edge.
+    pub fn top(&self) -> f64 {
+        self.y_um + self.h_um
+    }
+
+    /// `true` if the interiors overlap (shared edges are allowed).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x_um + EPS < other.right()
+            && other.x_um + EPS < self.right()
+            && self.y_um + EPS < other.top()
+            && other.y_um + EPS < self.top()
+    }
+
+    /// `true` if `other` lies entirely inside `self` (edges allowed).
+    pub fn contains(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        other.x_um >= self.x_um - EPS
+            && other.y_um >= self.y_um - EPS
+            && other.right() <= self.right() + EPS
+            && other.top() <= self.top() + EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_semantics() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // touches a's right edge
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "edge contact is not an overlap");
+    }
+
+    #[test]
+    fn containment_and_center() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let cell = Rect::new(9.0, 9.0, 1.0, 1.0);
+        assert!(die.contains(&cell));
+        assert!(!die.contains(&Rect::new(9.5, 9.5, 1.0, 1.0)));
+        assert_eq!(die.center(), (5.0, 5.0));
+        assert_eq!(die.area_um2(), 100.0);
+    }
+}

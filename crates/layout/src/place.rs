@@ -1,0 +1,511 @@
+//! Structured-data-path (SDP) placement for DCIM macros.
+//!
+//! The paper (§III-D): *"we adopt the structured data path (SDP)
+//! capability in Cadence Innovus with a scalable script. … After placing
+//! the SRAM cells using SDP, we fill the gaps between SRAM columns with
+//! adder cells and place the peripheral logic around the array."*
+//!
+//! This module is that script: it understands the group-naming convention
+//! used by the subcircuit generators and produces the same floorplan
+//! topology —
+//!
+//! ```text
+//! ┌─────────────────────────────────────────────┐
+//! │        bl_drivers  +  align   (top strips)  │
+//! │ ┌────┐ ┌────┬────┬────┬────┬──────────────┐ │
+//! │ │ wl │ │col0│col1│col2│ …  │   (strips:   │ │
+//! │ │drv │ │    │    │    │    │ bitcell grid │ │
+//! │ │    │ │    │    │    │    │ + datapath)  │ │
+//! │ └────┘ └────┴────┴────┴────┴──────────────┘ │
+//! │        ofu + top misc        (bottom strip) │
+//! └─────────────────────────────────────────────┘
+//! ```
+//!
+//! Bitcells are tiled on a pushed-rule grid at the top of each column
+//! strip (the "regular SRAM place"); the column's multiplier, adder-tree
+//! and shift-adder cells are row-packed directly beneath ("fill the gaps
+//! between SRAM columns with adder cells"); drivers, alignment and fusion
+//! logic wrap the array.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::geometry::Rect;
+use syndcim_netlist::{InstId, Module};
+use syndcim_pdk::{CellLibrary, DensityClass};
+
+/// Placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloorplanConfig {
+    /// Target core aspect ratio, width / height.
+    pub aspect: f64,
+    /// Standard-cell row utilization inside packed rows (the rest is
+    /// routing space).
+    pub row_util: f64,
+    /// Margin around the core (power ring, IO) in µm.
+    pub margin_um: f64,
+}
+
+impl Default for FloorplanConfig {
+    fn default() -> Self {
+        // Aspect mirrors the paper's 455×246 µm die photo (≈1.85).
+        FloorplanConfig { aspect: 1.85, row_util: 0.80, margin_um: 4.0 }
+    }
+}
+
+/// A placed instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedCell {
+    /// The instance this footprint belongs to.
+    pub inst: InstId,
+    /// Its placed footprint.
+    pub rect: Rect,
+}
+
+/// A named region of the floorplan (for rendering and reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region name (`"col17"`, `"align"`, …).
+    pub name: String,
+    /// Region bounding box.
+    pub rect: Rect,
+}
+
+/// The completed placement of one macro.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Die outline (origin at (0,0)).
+    pub die: Rect,
+    /// One placed footprint per instance, indexed by [`InstId::index`].
+    pub cells: Vec<PlacedCell>,
+    /// Floorplan regions.
+    pub regions: Vec<Region>,
+    /// Σ cell area / die area.
+    pub utilization: f64,
+}
+
+impl Placement {
+    /// Die area in µm².
+    pub fn die_area_um2(&self) -> f64 {
+        self.die.area_um2()
+    }
+
+    /// Die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_area_um2() * 1e-6
+    }
+
+    /// Centre of an instance's footprint.
+    pub fn position_of(&self, inst: InstId) -> (f64, f64) {
+        self.cells[inst.index()].rect.center()
+    }
+}
+
+/// Error raised by placement or design-rule checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// The module has no instances to place.
+    EmptyModule,
+    /// Two placed cells overlap.
+    Overlap {
+        /// First instance name.
+        a: String,
+        /// Second instance name.
+        b: String,
+    },
+    /// A cell lies outside the die.
+    OutOfDie {
+        /// Offending instance name.
+        inst: String,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::EmptyModule => write!(f, "module has no instances to place"),
+            LayoutError::Overlap { a, b } => write!(f, "placed cells `{a}` and `{b}` overlap"),
+            LayoutError::OutOfDie { inst } => write!(f, "cell `{inst}` lies outside the die"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[derive(Default)]
+struct Bucket {
+    bitcells: Vec<usize>,
+    datapath: Vec<usize>,
+}
+
+/// Zone assignment derived from the group-name head.
+fn zone_of(head: &str) -> Zone {
+    if let Some(rest) = head.strip_prefix("col") {
+        if let Ok(c) = rest.parse::<usize>() {
+            return Zone::Column(c);
+        }
+    }
+    match head {
+        "wl_drivers" => Zone::Left,
+        "bl_drivers" | "align" => Zone::Top,
+        _ => Zone::Bottom, // ofu, top, misc
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Zone {
+    Column(usize),
+    Left,
+    Top,
+    Bottom,
+}
+
+/// Run SDP placement on `module`.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::EmptyModule`] for an instance-free module.
+pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Result<Placement, LayoutError> {
+    if module.instances.is_empty() {
+        return Err(LayoutError::EmptyModule);
+    }
+    let process = lib.process();
+    let row_h = process.row_height_um;
+
+    // Specs indexed by cell id for density lookup.
+    let specs = syndcim_pdk::cell_specs();
+
+    // Partition instances by zone.
+    let mut columns: BTreeMap<usize, Bucket> = BTreeMap::new();
+    let mut left: Vec<usize> = Vec::new();
+    let mut top: Vec<usize> = Vec::new();
+    let mut bottom: Vec<usize> = Vec::new();
+    for (i, inst) in module.instances.iter().enumerate() {
+        let gname = module.group_name(inst.group);
+        let head = gname.split('/').next().unwrap_or(gname);
+        match zone_of(head) {
+            Zone::Column(c) => {
+                let cell = lib.cell(inst.cell);
+                let is_bitcell = specs
+                    .iter()
+                    .find(|s| s.kind == cell.kind)
+                    .map(|s| s.density == DensityClass::SramArray)
+                    .unwrap_or(false);
+                let bucket = columns.entry(c).or_default();
+                if is_bitcell {
+                    bucket.bitcells.push(i);
+                } else {
+                    bucket.datapath.push(i);
+                }
+            }
+            Zone::Left => left.push(i),
+            Zone::Top => top.push(i),
+            Zone::Bottom => bottom.push(i),
+        }
+    }
+
+    let area_of = |ids: &[usize], util: f64| -> f64 {
+        ids.iter().map(|&i| lib.cell(module.instances[i].cell).area_um2).sum::<f64>() / util
+    };
+
+    // Core sizing.
+    let n_cols = columns.len().max(1);
+    let core_area: f64 = columns
+        .values()
+        .map(|b| area_of(&b.bitcells, 0.98) + area_of(&b.datapath, config.row_util))
+        .sum::<f64>()
+        .max(1.0);
+    // Left/top/bottom strips consume width/height; aim the *core* at the
+    // configured aspect. The strip must at least fit its widest cell.
+    let widest_dp = columns
+        .values()
+        .flat_map(|bkt| bkt.datapath.iter())
+        .map(|&i| lib.cell(module.instances[i].cell).width_um)
+        .fold(0.0f64, f64::max);
+    let core_h = (core_area / config.aspect).sqrt();
+    let w_col = (core_area / core_h / n_cols as f64)
+        .max(3.0 * row_h)
+        .max(widest_dp / config.row_util + 0.2);
+
+    let mut cells: Vec<PlacedCell> =
+        (0..module.instances.len()).map(|i| PlacedCell { inst: InstId(i as u32), rect: Rect::default() }).collect();
+    let mut regions = Vec::new();
+
+    // Left strip (WL drivers): packed rows, vertical strip.
+    let left_area = area_of(&left, config.row_util);
+    let widest_left = left
+        .iter()
+        .map(|&i| lib.cell(module.instances[i].cell).width_um)
+        .fold(0.0f64, f64::max);
+    let left_w = if left.is_empty() {
+        0.0
+    } else {
+        (left_area / core_h).max(2.0 * row_h).max(widest_left / config.row_util + 0.2)
+    };
+    let core_x0 = config.margin_um + left_w + if left.is_empty() { 0.0 } else { 2.0 };
+    let core_y0 = config.margin_um;
+
+    // Place column strips.
+    let mut max_strip_top = core_y0;
+    for (slot, (c, bucket)) in columns.iter().enumerate() {
+        let x0 = core_x0 + slot as f64 * w_col;
+        let mut y = core_y0;
+        // 1) bitcell grid (pushed-rule SDP rows).
+        if !bucket.bitcells.is_empty() {
+            let bw = lib.cell(module.instances[bucket.bitcells[0]].cell).width_um.max(0.2);
+            let bh = {
+                let a = lib.cell(module.instances[bucket.bitcells[0]].cell).area_um2;
+                (a / bw).max(0.2)
+            };
+            let per_row = ((w_col * 0.98) / bw).floor().max(1.0) as usize;
+            for (k, &i) in bucket.bitcells.iter().enumerate() {
+                let col = k % per_row;
+                let row = k / per_row;
+                cells[i].rect = Rect::new(x0 + col as f64 * bw, y + row as f64 * bh, bw, bh);
+            }
+            let rows = bucket.bitcells.len().div_ceil(per_row);
+            y += rows as f64 * bh + 0.4; // gap between SRAM grid and logic
+        }
+        // 2) datapath rows ("adder cells fill the gaps next to the SRAM").
+        y = pack_rows(&mut cells, module, lib, &bucket.datapath, x0, y, w_col, row_h, config.row_util);
+        regions.push(Region { name: format!("col{c}"), rect: Rect::new(x0, core_y0, w_col, y - core_y0) });
+        max_strip_top = max_strip_top.max(y);
+    }
+    let core_w = n_cols as f64 * w_col;
+    let core_top = max_strip_top;
+
+    // Left strip cells.
+    if !left.is_empty() {
+        let y_end = pack_rows(&mut cells, module, lib, &left, config.margin_um, core_y0, left_w, row_h, config.row_util);
+        regions.push(Region {
+            name: "wl_drivers".into(),
+            rect: Rect::new(config.margin_um, core_y0, left_w, y_end - core_y0),
+        });
+        max_strip_top = max_strip_top.max(y_end);
+    }
+
+    // Top strips (BL drivers + alignment) across the core width.
+    let mut y_top = core_top + 1.0;
+    if !top.is_empty() {
+        let y_end = pack_clustered(&mut cells, module, lib, &top, core_x0, y_top, core_w, row_h, config.row_util);
+        regions.push(Region { name: "align+bl".into(), rect: Rect::new(core_x0, y_top, core_w, y_end - y_top) });
+        y_top = y_end;
+    }
+
+    // Bottom strip is placed *above* the top strip region in coordinates
+    // (keeping all y positive); conceptually it wraps the array. Cells
+    // are clustered by their full group name so each OFU fusion group
+    // stacks vertically in its own sub-strip (short inter-level wires).
+    let mut y_bot = y_top + 1.0;
+    if !bottom.is_empty() {
+        let y_end = pack_clustered(&mut cells, module, lib, &bottom, core_x0, y_bot, core_w, row_h, config.row_util);
+        regions.push(Region { name: "ofu+misc".into(), rect: Rect::new(core_x0, y_bot, core_w, y_end - y_bot) });
+        y_bot = y_end;
+    }
+
+    let die_w = core_x0 + core_w + config.margin_um;
+    let die_h = y_bot.max(max_strip_top) + config.margin_um;
+    let die = Rect::new(0.0, 0.0, die_w, die_h);
+    let total_cell_area: f64 = module.instances.iter().map(|i| lib.cell(i.cell).area_um2).sum();
+    Ok(Placement { die, cells, regions, utilization: total_cell_area / die.area_um2() })
+}
+
+/// Pack `ids` into side-by-side sub-strips, one per distinct (full)
+/// group name, within a band of total width `w`. Bit-sliced blocks
+/// (e.g. the OFU's per-group fusion levels) then stack vertically with
+/// short inter-level wires instead of smearing across the whole strip.
+/// Returns the y coordinate after the tallest sub-strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_clustered(
+    cells: &mut [PlacedCell],
+    module: &Module,
+    lib: &CellLibrary,
+    ids: &[usize],
+    x0: f64,
+    y0: f64,
+    w: f64,
+    row_h: f64,
+    util: f64,
+) -> f64 {
+    // Cluster by group id, preserving first-appearance order.
+    let mut order: Vec<crate::place::Bucketed> = Vec::new();
+    for &i in ids {
+        let g = module.instances[i].group;
+        match order.iter_mut().find(|c| c.group == g) {
+            Some(c) => c.ids.push(i),
+            None => order.push(Bucketed { group: g, ids: vec![i] }),
+        }
+    }
+    let widest = ids
+        .iter()
+        .map(|&i| lib.cell(module.instances[i].cell).width_um)
+        .fold(0.0f64, f64::max);
+    let min_w = (widest / util + 0.2).max(3.0 * row_h);
+    let per_band = ((w / min_w).floor() as usize).clamp(1, order.len().max(1));
+    let strip_w = w / per_band as f64;
+    let mut y_band = y0;
+    let mut y_end_total = y0;
+    for band in order.chunks(per_band) {
+        let mut band_bottom = y_band;
+        for (k, cluster) in band.iter().enumerate() {
+            let x = x0 + k as f64 * strip_w;
+            let y_end = pack_rows(cells, module, lib, &cluster.ids, x, y_band, strip_w, row_h, util);
+            band_bottom = band_bottom.max(y_end);
+        }
+        y_band = band_bottom + 0.4;
+        y_end_total = band_bottom;
+    }
+    y_end_total
+}
+
+struct Bucketed {
+    group: crate::place::GroupIdAlias,
+    ids: Vec<usize>,
+}
+
+type GroupIdAlias = syndcim_netlist::GroupId;
+
+/// Pack `ids` into rows of width `w` starting at `(x0, y0)`; returns the
+/// y coordinate after the last row. Rows are packed in serpentine order
+/// (alternating direction) so logically consecutive cells that wrap a
+/// row stay physically adjacent — without this, every row wrap turns a
+/// local ripple-carry net into a full-row-span wire.
+#[allow(clippy::too_many_arguments)]
+fn pack_rows(
+    cells: &mut [PlacedCell],
+    module: &Module,
+    lib: &CellLibrary,
+    ids: &[usize],
+    x0: f64,
+    y0: f64,
+    w: f64,
+    row_h: f64,
+    util: f64,
+) -> f64 {
+    let mut x = x0;
+    let mut y = y0;
+    let mut rightward = true;
+    let mut used_any = false;
+    for &i in ids {
+        let cell = lib.cell(module.instances[i].cell);
+        let cw = cell.width_um.max(0.2);
+        let advance = cw / util;
+        if rightward {
+            if x + cw > x0 + w && x > x0 {
+                y += row_h;
+                rightward = false;
+                x = x0 + w;
+            }
+        } else if x - cw < x0 && x < x0 + w {
+            y += row_h;
+            rightward = true;
+            x = x0;
+        }
+        if rightward {
+            cells[i].rect = Rect::new(x, y, cw, row_h);
+            x += advance;
+        } else {
+            cells[i].rect = Rect::new(x - cw, y, cw, row_h);
+            x -= advance;
+        }
+        used_any = true;
+    }
+    if used_any {
+        y + row_h
+    } else {
+        y0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::NetlistBuilder;
+    use syndcim_pdk::CellKind;
+
+    /// A miniature DCIM-shaped module following the naming convention.
+    fn mini_macro(lib: &CellLibrary) -> Module {
+        let mut b = NetlistBuilder::new("mini", lib);
+        let act = b.input("act");
+        let wwl = b.input("wwl");
+        let wbl = b.input("wbl");
+        let mut outs = Vec::new();
+        for c in 0..4 {
+            b.push_group(&format!("col{c}"));
+            b.push_group("bitcells");
+            let r0 = b.add(CellKind::Sram6T2T, &[wwl, wbl])[0];
+            let r1 = b.add(CellKind::Sram6T2T, &[wwl, wbl])[0];
+            b.pop_group();
+            b.push_group("tree");
+            let m0 = b.add(CellKind::MultNor, &[act, r0])[0];
+            let m1 = b.add(CellKind::MultNor, &[act, r1])[0];
+            let (s, _) = b.ha(m0, m1);
+            b.pop_group();
+            b.push_group("sa");
+            let q = b.dff(s);
+            b.pop_group();
+            b.pop_group();
+            outs.push(q);
+        }
+        b.push_group("wl_drivers");
+        let _ = b.add(CellKind::BufX4, &[act]);
+        b.pop_group();
+        b.push_group("align");
+        let _ = b.add(CellKind::Xor2, &[outs[0], outs[1]]);
+        b.pop_group();
+        b.push_group("ofu");
+        let (f, _) = b.ha(outs[2], outs[3]);
+        b.pop_group();
+        b.output("f", f);
+        b.finish()
+    }
+
+    #[test]
+    fn placement_covers_every_instance_inside_die() {
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        assert_eq!(p.cells.len(), m.instance_count());
+        for c in &p.cells {
+            assert!(c.rect.w_um > 0.0 && c.rect.h_um > 0.0, "unplaced cell {:?}", c.inst);
+            assert!(p.die.contains(&c.rect), "cell outside die: {:?}", c.inst);
+        }
+        assert!(p.utilization > 0.05 && p.utilization <= 1.0, "utilization {}", p.utilization);
+    }
+
+    #[test]
+    fn column_regions_are_ordered_left_to_right() {
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        let cols: Vec<&Region> = p.regions.iter().filter(|r| r.name.starts_with("col")).collect();
+        assert_eq!(cols.len(), 4);
+        for w in cols.windows(2) {
+            assert!(w[0].rect.x_um < w[1].rect.x_um);
+        }
+    }
+
+    #[test]
+    fn empty_module_is_rejected() {
+        let lib = CellLibrary::syn40();
+        let m = Module::new("empty");
+        assert_eq!(place(&m, &lib, FloorplanConfig::default()).unwrap_err(), LayoutError::EmptyModule);
+    }
+
+    #[test]
+    fn bitcells_form_a_grid() {
+        // All bitcells of one column must share x-coordinates (grid
+        // columns) and have uniform size — the "regular SRAM placement".
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        let mut bit_rects = Vec::new();
+        for (i, inst) in m.instances.iter().enumerate() {
+            if lib.cell(inst.cell).kind == CellKind::Sram6T2T && m.group_name(inst.group).starts_with("col0") {
+                bit_rects.push(p.cells[i].rect);
+            }
+        }
+        assert_eq!(bit_rects.len(), 2);
+        assert_eq!(bit_rects[0].w_um, bit_rects[1].w_um);
+    }
+}

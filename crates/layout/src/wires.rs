@@ -1,0 +1,176 @@
+//! Global-routing estimation and parasitic extraction.
+//!
+//! After placement, every net's half-perimeter wirelength (HPWL) is
+//! measured from its pin positions; wire capacitance and Elmore delay are
+//! derived from the process constants with a detour factor. The result
+//! back-annotates STA and power analysis — the "post-layout simulation"
+//! step of the paper's flow.
+
+use crate::place::Placement;
+use syndcim_netlist::{Connectivity, Module, NetlistError};
+use syndcim_pdk::CellLibrary;
+
+/// Per-net parasitic estimates, indexed by `NetId::index`.
+#[derive(Debug, Clone)]
+pub struct WireEstimates {
+    /// Half-perimeter wirelength per net in µm.
+    pub hpwl_um: Vec<f64>,
+    /// Wire capacitance per net in fF.
+    pub cap_ff: Vec<f64>,
+    /// Elmore wire delay per net in ps.
+    pub delay_ps: Vec<f64>,
+    /// Total routed length in µm (sum of detoured HPWL).
+    pub total_wirelength_um: f64,
+}
+
+/// Routing detour factor applied on HPWL (global routing is never
+/// perfectly L-shaped).
+pub const DETOUR: f64 = 1.15;
+
+/// Extract wire parasitics for `module` under `placement`.
+///
+/// Pins are approximated at cell centres; port pins sit on the die edge
+/// nearest the core (left edge for inputs, right edge for outputs),
+/// which reproduces the boundary-driver wire loads of a real macro.
+///
+/// # Errors
+///
+/// Fails if the netlist has connectivity errors.
+pub fn extract_wires(
+    module: &Module,
+    lib: &CellLibrary,
+    placement: &Placement,
+) -> Result<WireEstimates, NetlistError> {
+    let conn = Connectivity::build(module)?;
+    let n = module.net_count();
+    let process = lib.process();
+
+    // Pin load per net (needed for Elmore delay).
+    let mut pin_load = vec![0.0f64; n];
+    for inst in &module.instances {
+        let cell = lib.cell(inst.cell);
+        for (pin, &net) in inst.inputs.iter().enumerate() {
+            pin_load[net.index()] += cell.input_cap_ff[pin];
+        }
+    }
+
+    // Bounding box per net.
+    #[derive(Clone, Copy)]
+    struct BBox {
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        pins: u32,
+    }
+    let empty = BBox { x0: f64::INFINITY, y0: f64::INFINITY, x1: f64::NEG_INFINITY, y1: f64::NEG_INFINITY, pins: 0 };
+    let mut bbox = vec![empty; n];
+    let grow = |net: usize, x: f64, y: f64, bbox: &mut Vec<BBox>| {
+        let b = &mut bbox[net];
+        b.x0 = b.x0.min(x);
+        b.y0 = b.y0.min(y);
+        b.x1 = b.x1.max(x);
+        b.y1 = b.y1.max(y);
+        b.pins += 1;
+    };
+    for (idx, inst) in module.instances.iter().enumerate() {
+        let (x, y) = placement.cells[idx].rect.center();
+        for &net in inst.inputs.iter().chain(inst.outputs.iter()) {
+            grow(net.index(), x, y, &mut bbox);
+        }
+    }
+    // Macro pins sit on the die edge nearest the logic they connect to
+    // (as an abutment-ready hard macro places them): project each port
+    // net's internal centroid onto the closest edge.
+    for p in &module.ports {
+        let b = bbox[p.net.index()];
+        let (cx, cy) = if b.pins > 0 {
+            ((b.x0 + b.x1) / 2.0, (b.y0 + b.y1) / 2.0)
+        } else {
+            placement.die.center()
+        };
+        let die = placement.die;
+        let d_left = cx - die.x_um;
+        let d_right = die.right() - cx;
+        let d_bot = cy - die.y_um;
+        let d_top = die.top() - cy;
+        let min = d_left.min(d_right).min(d_bot).min(d_top);
+        let (x, y) = if min == d_left {
+            (die.x_um, cy)
+        } else if min == d_right {
+            (die.right(), cy)
+        } else if min == d_bot {
+            (cx, die.y_um)
+        } else {
+            (cx, die.top())
+        };
+        grow(p.net.index(), x, y, &mut bbox);
+    }
+    let _ = conn;
+
+    let mut hpwl = vec![0.0f64; n];
+    let mut cap = vec![0.0f64; n];
+    let mut delay = vec![0.0f64; n];
+    let mut total = 0.0;
+    for i in 0..n {
+        let b = bbox[i];
+        if b.pins < 2 {
+            continue;
+        }
+        let l = ((b.x1 - b.x0) + (b.y1 - b.y0)) * DETOUR;
+        hpwl[i] = l / DETOUR;
+        cap[i] = l * process.wire_cap_ff_per_um;
+        delay[i] = process.wire_delay_ps(l, pin_load[i]);
+        total += l;
+    }
+    Ok(WireEstimates { hpwl_um: hpwl, cap_ff: cap, delay_ps: delay, total_wirelength_um: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, FloorplanConfig};
+    use syndcim_netlist::NetlistBuilder;
+
+    #[test]
+    fn parasitics_are_positive_and_bounded_by_die() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("w", &lib);
+        let a = b.input("a");
+        b.push_group("col0");
+        let mut x = a;
+        for _ in 0..24 {
+            x = b.not(x);
+        }
+        b.pop_group();
+        b.output("y", x);
+        let m = b.finish();
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        let w = extract_wires(&m, &lib, &p).unwrap();
+        let max_possible = (p.die.w_um + p.die.h_um) * DETOUR;
+        let mut some_wire = false;
+        for i in 0..m.net_count() {
+            assert!(w.cap_ff[i] >= 0.0 && w.delay_ps[i] >= 0.0);
+            assert!(w.hpwl_um[i] * DETOUR <= max_possible + 1e-9);
+            some_wire |= w.hpwl_um[i] > 0.0;
+        }
+        assert!(some_wire, "at least the port nets must have length");
+        assert!(w.total_wirelength_um > 0.0);
+    }
+
+    #[test]
+    fn single_pin_nets_have_no_wire() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("s", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        let _dangling = b.net("dangling");
+        b.output("y", y);
+        let m = b.finish();
+        let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        let w = extract_wires(&m, &lib, &p).unwrap();
+        let dangling_idx = m.nets.iter().position(|n| n.name == "dangling").unwrap();
+        assert_eq!(w.hpwl_um[dangling_idx], 0.0);
+        assert_eq!(w.cap_ff[dangling_idx], 0.0);
+    }
+}

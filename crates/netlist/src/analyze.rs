@@ -1,0 +1,292 @@
+//! Connectivity analysis: drivers, fanout, validation and levelization.
+//!
+//! Levelization orders the combinational instances topologically so the
+//! simulator can evaluate a cycle in one linear pass and the STA engine
+//! can propagate arrival times without iteration. Sequential cells
+//! (flip-flops, bitcells) break the graph: their outputs are sources and
+//! their inputs are sinks.
+
+use crate::graph::{InstId, Module, NetId, PortDir};
+use std::fmt;
+use syndcim_pdk::CellLibrary;
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Driven by a module input port.
+    Port,
+    /// Driven by output pin `pin` of instance `inst`.
+    Inst {
+        /// Driving instance.
+        inst: InstId,
+        /// Output pin index on the driving cell.
+        pin: usize,
+    },
+    /// No driver found (floating net).
+    None,
+}
+
+/// Error raised by netlist validation or levelization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net has more than one driver.
+    MultipleDrivers {
+        /// The conflicting net's name.
+        net: String,
+    },
+    /// A net is read but never driven.
+    FloatingNet {
+        /// The floating net's name.
+        net: String,
+    },
+    /// The combinational graph contains a cycle.
+    CombinationalLoop {
+        /// Name of an instance on the cycle.
+        inst: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => write!(f, "net `{net}` has multiple drivers"),
+            NetlistError::FloatingNet { net } => write!(f, "net `{net}` is read but never driven"),
+            NetlistError::CombinationalLoop { inst } => {
+                write!(f, "combinational loop through instance `{inst}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Precomputed connectivity tables for a module.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    /// Driver of each net, indexed by [`NetId::index`].
+    pub driver: Vec<Driver>,
+    /// Instance input sinks of each net: `(instance, input_pin)` pairs.
+    pub sinks: Vec<Vec<(InstId, usize)>>,
+}
+
+impl Connectivity {
+    /// Build connectivity tables for `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if any net is driven
+    /// more than once.
+    pub fn build(module: &Module) -> Result<Self, NetlistError> {
+        let n = module.net_count();
+        let mut driver = vec![Driver::None; n];
+        let mut sinks: Vec<Vec<(InstId, usize)>> = vec![Vec::new(); n];
+
+        for port in &module.ports {
+            if port.dir == PortDir::Input {
+                if driver[port.net.index()] != Driver::None {
+                    return Err(NetlistError::MultipleDrivers { net: module.nets[port.net.index()].name.clone() });
+                }
+                driver[port.net.index()] = Driver::Port;
+            }
+        }
+        for (i, inst) in module.instances.iter().enumerate() {
+            let id = InstId(i as u32);
+            for (pin, &net) in inst.outputs.iter().enumerate() {
+                if driver[net.index()] != Driver::None {
+                    return Err(NetlistError::MultipleDrivers { net: module.nets[net.index()].name.clone() });
+                }
+                driver[net.index()] = Driver::Inst { inst: id, pin };
+            }
+            for (pin, &net) in inst.inputs.iter().enumerate() {
+                sinks[net.index()].push((id, pin));
+            }
+        }
+        Ok(Connectivity { driver, sinks })
+    }
+
+    /// The driver of `net`.
+    pub fn driver_of(&self, net: NetId) -> Driver {
+        self.driver[net.index()]
+    }
+
+    /// Total fanout (instance input pins) of `net`.
+    pub fn fanout(&self, net: NetId) -> usize {
+        self.sinks[net.index()].len()
+    }
+}
+
+/// Validate that every net read by an instance or output port is driven.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistError::FloatingNet`] found.
+pub fn validate(module: &Module, conn: &Connectivity) -> Result<(), NetlistError> {
+    for inst in &module.instances {
+        for &net in &inst.inputs {
+            if conn.driver_of(net) == Driver::None {
+                return Err(NetlistError::FloatingNet { net: module.nets[net.index()].name.clone() });
+            }
+        }
+    }
+    for port in module.output_ports() {
+        if conn.driver_of(port.net) == Driver::None {
+            return Err(NetlistError::FloatingNet { net: module.nets[port.net.index()].name.clone() });
+        }
+    }
+    Ok(())
+}
+
+/// Topological order of the *combinational* instances of `module`
+/// (sequential instances are excluded; their outputs count as sources).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] if the combinational part
+/// of the design is cyclic.
+pub fn levelize(module: &Module, lib: &CellLibrary, conn: &Connectivity) -> Result<Vec<InstId>, NetlistError> {
+    let n = module.instances.len();
+    // Pending combinational fan-in count per instance.
+    let mut pending = vec![0usize; n];
+    let mut order = Vec::with_capacity(n);
+    let mut ready = Vec::new();
+    let mut comb = vec![false; n];
+
+    for (i, inst) in module.instances.iter().enumerate() {
+        if lib.cell(inst.cell).is_sequential() {
+            continue;
+        }
+        comb[i] = true;
+        let mut deps = 0;
+        for &net in &inst.inputs {
+            if let Driver::Inst { inst: d, .. } = conn.driver_of(net) {
+                if !lib.cell(module.instances[d.index()].cell).is_sequential() {
+                    deps += 1;
+                }
+            }
+        }
+        pending[i] = deps;
+        if deps == 0 {
+            ready.push(InstId(i as u32));
+        }
+    }
+
+    while let Some(id) = ready.pop() {
+        order.push(id);
+        for &net in &module.instances[id.index()].outputs {
+            for &(sink, _) in &conn.sinks[net.index()] {
+                let si = sink.index();
+                if comb[si] {
+                    pending[si] -= 1;
+                    if pending[si] == 0 {
+                        ready.push(sink);
+                    }
+                }
+            }
+        }
+    }
+
+    let comb_total = comb.iter().filter(|&&c| c).count();
+    if order.len() != comb_total {
+        let culprit = (0..n)
+            .find(|&i| comb[i] && pending[i] > 0)
+            .expect("some combinational instance must still be pending");
+        return Err(NetlistError::CombinationalLoop { inst: module.instances[culprit].name.clone() });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use syndcim_pdk::CellKind;
+
+    #[test]
+    fn connectivity_and_levelize_simple_chain() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", y);
+        let m = b.finish();
+        let conn = Connectivity::build(&m).unwrap();
+        validate(&m, &conn).unwrap();
+        let order = levelize(&m, &lib, &conn).unwrap();
+        assert_eq!(order, vec![InstId(0), InstId(1)]);
+        assert_eq!(conn.fanout(a), 1);
+    }
+
+    #[test]
+    fn register_breaks_loops() {
+        // q = dff(!q) is a perfectly fine divider; levelize must accept it.
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("divider", &lib);
+        // Create the dff first with a placeholder input we patch below.
+        let tmp = b.net("tmp");
+        let q = b.add(CellKind::Dff, &[tmp])[0];
+        let nq = b.not(q);
+        // Patch the dff input to close the loop through the register.
+        b.output("q", q);
+        let mut m = b.finish();
+        m.instances[0].inputs[0] = nq;
+        // Remove the now-dangling tmp net reference by redirecting: tmp is
+        // unused, which is fine (it is not read by anything).
+        let conn = Connectivity::build(&m).unwrap();
+        let order = levelize(&m, &lib, &conn).unwrap();
+        assert_eq!(order.len(), 1, "only the inverter is combinational");
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("latchup", &lib);
+        let a = b.input("a");
+        let x = b.and2(a, a);
+        let y = b.and2(x, x);
+        b.output("y", y);
+        let mut m = b.finish();
+        // Short the first AND's second input to the second AND's output.
+        let y_net = m.instances[1].outputs[0];
+        m.instances[0].inputs[1] = y_net;
+        let conn = Connectivity::build(&m).unwrap();
+        let err = levelize(&m, &lib, &conn).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("short", &lib);
+        let a = b.input("a");
+        let x = b.not(a);
+        let _y = b.not(x);
+        let m0 = b.finish();
+        let mut m = m0.clone();
+        // Make the second inverter drive the same net as the first.
+        let first_out = m.instances[0].outputs[0];
+        m.instances[1].outputs[0] = first_out;
+        let err = Connectivity::build(&m).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn floating_net_rejected() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("float", &lib);
+        let dangling = b.net("dangling");
+        let y = b.not(dangling);
+        b.output("y", y);
+        let m = b.finish();
+        let conn = Connectivity::build(&m).unwrap();
+        let err = validate(&m, &conn).unwrap_err();
+        assert!(matches!(err, NetlistError::FloatingNet { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = NetlistError::FloatingNet { net: "x".into() };
+        let s = e.to_string();
+        assert!(s.contains("x") && s.starts_with("net"));
+    }
+}

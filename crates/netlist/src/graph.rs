@@ -1,0 +1,179 @@
+//! Flat gate-level netlist representation.
+//!
+//! A [`Module`] is a flat graph of cell [`Instance`]s connected by nets.
+//! Hierarchy is represented lightly: every instance carries a [`GroupId`]
+//! naming the subcircuit it belongs to (e.g. `"adder_tree/col17"`), which
+//! the layout, power and reporting stages use for per-subcircuit
+//! breakdowns — the same role module boundaries play in a conventional
+//! flow after flattening.
+
+use syndcim_pdk::CellId;
+
+/// Index of a net within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an instance within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an instance group (logical subcircuit) within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The default group every instance starts in.
+    pub const TOP: GroupId = GroupId(0);
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module, observed outside.
+    Output,
+}
+
+/// A named boundary connection of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name (bit-blasted buses use `name[i]`).
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// The net attached to the port.
+    pub net: NetId,
+}
+
+/// A single placed-cell occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the module.
+    pub name: String,
+    /// Library cell reference.
+    pub cell: CellId,
+    /// Nets bound to the cell's input pins, in pin order.
+    pub inputs: Vec<NetId>,
+    /// Nets bound to the cell's output pins, in pin order.
+    pub outputs: Vec<NetId>,
+    /// Logical subcircuit this instance belongs to.
+    pub group: GroupId,
+}
+
+/// A net record (names are kept for debug/export; connectivity lives on
+/// the instances).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name, unique within the module.
+    pub name: String,
+}
+
+/// A flat gate-level module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// All instances.
+    pub instances: Vec<Instance>,
+    /// Boundary ports.
+    pub ports: Vec<Port>,
+    /// Group names, indexed by [`GroupId`]. Index 0 is `"top"`.
+    pub groups: Vec<String>,
+}
+
+impl Module {
+    /// Create an empty module with the given name and the implicit
+    /// `"top"` group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            nets: Vec::new(),
+            instances: Vec::new(),
+            ports: Vec::new(),
+            groups: vec!["top".to_string()],
+        }
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Iterate over input ports.
+    pub fn input_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Input)
+    }
+
+    /// Iterate over output ports.
+    pub fn output_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Output)
+    }
+
+    /// Find a port by exact name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Collect the nets of a bit-blasted bus port `base[0] ... base[n-1]`,
+    /// in ascending bit order. Returns `None` if any bit is missing.
+    pub fn bus(&self, base: &str, width: usize) -> Option<Vec<NetId>> {
+        (0..width).map(|i| self.port(&format!("{base}[{i}]")).map(|p| p.net)).collect()
+    }
+
+    /// Name of a group.
+    pub fn group_name(&self, id: GroupId) -> &str {
+        &self.groups[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_module_has_top_group() {
+        let m = Module::new("m");
+        assert_eq!(m.group_name(GroupId::TOP), "top");
+        assert_eq!(m.instance_count(), 0);
+        assert_eq!(m.net_count(), 0);
+    }
+
+    #[test]
+    fn bus_lookup_requires_all_bits() {
+        let mut m = Module::new("m");
+        for i in 0..3 {
+            m.nets.push(Net { name: format!("a[{i}]") });
+            m.ports.push(Port { name: format!("a[{i}]"), dir: PortDir::Input, net: NetId(i as u32) });
+        }
+        assert_eq!(m.bus("a", 3).unwrap(), vec![NetId(0), NetId(1), NetId(2)]);
+        assert!(m.bus("a", 4).is_none());
+        assert!(m.bus("b", 1).is_none());
+    }
+}

@@ -1,0 +1,475 @@
+//! Cell models: logic function, timing arcs, energy, leakage and area.
+//!
+//! Every cell — standard gates *and* the custom DCIM cells (SRAM bitcells,
+//! multiplier–multiplexer variants) — is described by the same [`Cell`]
+//! record. This mirrors the paper's flow, where custom cells are
+//! characterized into LIB/LEF views "compatible with standard cells,
+//! allowing integration into the standard digital flow".
+
+/// Identifies the logic template of a cell.
+///
+/// The set covers every gate used by the seven DCIM subcircuit generators,
+/// including the paper-specific custom cells:
+///
+/// * bitcells — [`CellKind::Sram6T2T`], [`CellKind::Latch8T`],
+///   [`CellKind::Oai12T`];
+/// * multiplier/multiplexer variants — [`CellKind::MultNor`] (NOR-style
+///   bitwise multiplier), [`CellKind::MuxPg2`] (1T pass-gate column mux),
+///   [`CellKind::MuxTg2`] (2T transmission-gate mux), and
+///   [`CellKind::Oai22Fused`] (fused multiplier+mux, MCR ≤ 2);
+/// * arithmetic — [`CellKind::Ha`], [`CellKind::Fa`], and the 4-2
+///   compressor [`CellKind::C42`] used by the bit-wise CSA trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Logic-0 tie cell (no inputs, output constant 0).
+    TieLo,
+    /// Logic-1 tie cell (no inputs, output constant 1).
+    TieHi,
+    /// Inverter, unit drive.
+    Inv,
+    /// Buffer, unit drive.
+    Buf,
+    /// Buffer, 4× drive (driver chains in WL/BL drivers and clock spines).
+    BufX4,
+    /// Buffer, 16× drive.
+    BufX16,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: inputs `d0,d1,s`; output `s ? d1 : d0`.
+    Mux2,
+    /// OR-AND-invert 21: `!((a|b)&c)`.
+    Oai21,
+    /// OR-AND-invert 22: `!((a|b)&(c|d))`.
+    Oai22,
+    /// And-Or-Invert 21: `!((a&b)|c)`.
+    Aoi21,
+    /// Half adder: inputs `a,b`; outputs `s, c`.
+    Ha,
+    /// Full adder: inputs `a,b,cin`; outputs `s, co`. The carry arc is
+    /// faster than the sum arc — the property the paper's carry-reorder
+    /// optimization exploits.
+    Fa,
+    /// 4-2 compressor: inputs `a,b,c,d,cin`; outputs `s, carry, cout`.
+    /// Smaller and more energy-efficient per reduced bit than two full
+    /// adders, but with a slower sum path ("the 4-2 compressor is slow").
+    C42,
+    /// Positive-edge D flip-flop: input `d`; output `q` (clock implicit).
+    Dff,
+    /// D flip-flop with write enable: inputs `d, en`; output `q`.
+    DffEn,
+    /// 6T SRAM bitcell with 2T read port: inputs `wwl, wbl`; output `rbl`.
+    Sram6T2T,
+    /// 8T D-latch bitcell for robust read/write (ISSCC'23 style):
+    /// inputs `wwl, wbl`; output `rbl`.
+    Latch8T,
+    /// 12T OAI-gate bitcell (design-feasibility variant): inputs
+    /// `wwl, wbl`; output `rbl`.
+    Oai12T,
+    /// NOR-style bitwise multiplier: inputs `act, w`; output `act & w`.
+    MultNor,
+    /// 1T pass-gate 2:1 column multiplexer (AutoDCIM style): inputs
+    /// `d0, d1, s`; output selected data. Area-efficient but suffers a
+    /// threshold-voltage drop, modelled as extra delay and energy.
+    MuxPg2,
+    /// 2T transmission-gate 2:1 column multiplexer: inputs `d0, d1, s`.
+    MuxTg2,
+    /// Fused OAI22 multiplier+multiplexer (ISSCC'23 style): inputs
+    /// `act, w0, w1, s`; output `act & (s ? w1 : w0)`. Saves wiring but
+    /// does not scale beyond MCR = 2.
+    Oai22Fused,
+}
+
+impl CellKind {
+    /// All cell kinds, in a stable order (used to build libraries).
+    pub const ALL: &'static [CellKind] = &[
+        CellKind::TieLo,
+        CellKind::TieHi,
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::BufX4,
+        CellKind::BufX16,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Oai21,
+        CellKind::Oai22,
+        CellKind::Aoi21,
+        CellKind::Ha,
+        CellKind::Fa,
+        CellKind::C42,
+        CellKind::Dff,
+        CellKind::DffEn,
+        CellKind::Sram6T2T,
+        CellKind::Latch8T,
+        CellKind::Oai12T,
+        CellKind::MultNor,
+        CellKind::MuxPg2,
+        CellKind::MuxTg2,
+        CellKind::Oai22Fused,
+    ];
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// How a sequential cell updates its internal state once per clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqUpdate {
+    /// `q <= d` on every rising edge (input 0 is `d`).
+    Edge,
+    /// `q <= d` on rising edge only when `en` is high (inputs `d, en`).
+    EdgeEnable,
+    /// Level-sensitive storage used by bitcells: when `wwl` is high the
+    /// stored bit becomes `wbl` (inputs `wwl, wbl`); the output continuously
+    /// reads the stored bit.
+    BitcellWrite,
+}
+
+/// Setup/hold/clock-to-q numbers for a sequential cell, in picoseconds at
+/// the nominal corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqTiming {
+    /// Data setup time before the capturing clock edge.
+    pub setup_ps: f64,
+    /// Data hold time after the capturing clock edge.
+    pub hold_ps: f64,
+    /// Clock-to-output propagation delay.
+    pub clk_to_q_ps: f64,
+    /// Energy drawn from the clock pin each cycle, in femtojoules (clock
+    /// tree loading), regardless of data toggling.
+    pub clk_energy_fj: f64,
+    /// State-update rule.
+    pub update: SeqUpdate,
+}
+
+/// One combinational timing arc from an input pin to an output pin,
+/// expressed in logical-effort form: `delay = τ·(p + g·C_load/C_unit)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingArc {
+    /// Index of the launching input pin.
+    pub from_input: usize,
+    /// Index of the receiving output pin.
+    pub to_output: usize,
+    /// Parasitic delay `p` in units of τ.
+    pub parasitic: f64,
+    /// Logical effort `g` (dimensionless).
+    pub logical_effort: f64,
+}
+
+/// Pure combinational logic function of a cell (sequential cells expose the
+/// function of their *output* stage; state is handled by the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFunction {
+    /// Constant output.
+    Const(bool),
+    /// `out = !a`.
+    Not,
+    /// `out = a`.
+    Identity,
+    /// `out = a & b`.
+    And,
+    /// `out = !(a & b)`.
+    Nand,
+    /// `out = a | b`.
+    Or,
+    /// `out = !(a | b)`.
+    Nor,
+    /// `out = a ^ b`.
+    Xor,
+    /// `out = !(a ^ b)`.
+    Xnor,
+    /// `out = s ? d1 : d0` with inputs ordered `d0, d1, s`.
+    Mux2,
+    /// `out = !((a | b) & c)`.
+    Oai21,
+    /// `out = !((a | b) & (c | d))`.
+    Oai22,
+    /// `out = !((a & b) | c)`.
+    Aoi21,
+    /// Half adder: outputs `s = a ^ b`, `c = a & b`.
+    HalfAdder,
+    /// Full adder: outputs `s = a ^ b ^ cin`, `co = maj(a, b, cin)`.
+    FullAdder,
+    /// 4-2 compressor with inputs `a,b,c,d,cin` and outputs
+    /// `s = a^b^c^d^cin`, `carry = (a^b^c^d) ? cin : d`,
+    /// `cout = maj(a, b, c)` (cout is independent of `cin`, which is what
+    /// makes rows of compressors carry-save).
+    Compressor42,
+    /// Sequential output stage: `q = state` (state maintained externally).
+    SeqQ,
+    /// Fused multiplier–mux: inputs `act, w0, w1, s`;
+    /// `out = act & (s ? w1 : w0)`.
+    MultMuxFused,
+}
+
+impl CellFunction {
+    /// Number of combinational data inputs the function consumes.
+    pub fn input_count(&self) -> usize {
+        match self {
+            CellFunction::Const(_) => 0,
+            CellFunction::Not | CellFunction::Identity => 1,
+            CellFunction::And
+            | CellFunction::Nand
+            | CellFunction::Or
+            | CellFunction::Nor
+            | CellFunction::Xor
+            | CellFunction::Xnor
+            | CellFunction::HalfAdder => 2,
+            CellFunction::Mux2 | CellFunction::Oai21 | CellFunction::Aoi21 | CellFunction::FullAdder => 3,
+            CellFunction::Oai22 | CellFunction::MultMuxFused => 4,
+            CellFunction::Compressor42 => 5,
+            CellFunction::SeqQ => 0,
+        }
+    }
+
+    /// Number of outputs the function produces.
+    pub fn output_count(&self) -> usize {
+        match self {
+            CellFunction::HalfAdder => 2,
+            CellFunction::FullAdder => 2,
+            CellFunction::Compressor42 => 3,
+            _ => 1,
+        }
+    }
+
+    /// Evaluate the function on boolean inputs, writing results to `out`.
+    ///
+    /// `out` is cleared and refilled; its final length equals
+    /// [`CellFunction::output_count`]. For [`CellFunction::SeqQ`] the
+    /// caller must supply the stored state via `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` is shorter than [`CellFunction::input_count`].
+    pub fn eval(&self, ins: &[bool], state: bool, out: &mut Vec<bool>) {
+        out.clear();
+        match self {
+            CellFunction::Const(v) => out.push(*v),
+            CellFunction::Not => out.push(!ins[0]),
+            CellFunction::Identity => out.push(ins[0]),
+            CellFunction::And => out.push(ins[0] & ins[1]),
+            CellFunction::Nand => out.push(!(ins[0] & ins[1])),
+            CellFunction::Or => out.push(ins[0] | ins[1]),
+            CellFunction::Nor => out.push(!(ins[0] | ins[1])),
+            CellFunction::Xor => out.push(ins[0] ^ ins[1]),
+            CellFunction::Xnor => out.push(!(ins[0] ^ ins[1])),
+            CellFunction::Mux2 => out.push(if ins[2] { ins[1] } else { ins[0] }),
+            CellFunction::Oai21 => out.push(!((ins[0] | ins[1]) & ins[2])),
+            CellFunction::Oai22 => out.push(!((ins[0] | ins[1]) & (ins[2] | ins[3]))),
+            CellFunction::Aoi21 => out.push(!((ins[0] & ins[1]) | ins[2])),
+            CellFunction::HalfAdder => {
+                out.push(ins[0] ^ ins[1]);
+                out.push(ins[0] & ins[1]);
+            }
+            CellFunction::FullAdder => {
+                let (a, b, c) = (ins[0], ins[1], ins[2]);
+                out.push(a ^ b ^ c);
+                out.push((a & b) | (a & c) | (b & c));
+            }
+            CellFunction::Compressor42 => {
+                let (a, b, c, d, cin) = (ins[0], ins[1], ins[2], ins[3], ins[4]);
+                let x = a ^ b ^ c ^ d;
+                out.push(x ^ cin);
+                out.push(if x { cin } else { d });
+                out.push((a & b) | (a & c) | (b & c));
+            }
+            CellFunction::SeqQ => out.push(state),
+            CellFunction::MultMuxFused => {
+                let w = if ins[3] { ins[2] } else { ins[1] };
+                out.push(ins[0] & w);
+            }
+        }
+    }
+}
+
+/// A fully characterized library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Logic template.
+    pub kind: CellKind,
+    /// Library name, e.g. `"NAND2X1"`.
+    pub name: String,
+    /// Ordered input pin names.
+    pub inputs: Vec<&'static str>,
+    /// Ordered output pin names.
+    pub outputs: Vec<&'static str>,
+    /// Combinational function (or sequential output stage).
+    pub function: CellFunction,
+    /// Sequential timing; `None` for combinational cells.
+    pub seq: Option<SeqTiming>,
+    /// Layout area in µm².
+    pub area_um2: f64,
+    /// Cell footprint width in µm at the process row height.
+    pub width_um: f64,
+    /// Input pin capacitance per input pin, in fF.
+    pub input_cap_ff: Vec<f64>,
+    /// Combinational timing arcs.
+    pub arcs: Vec<TimingArc>,
+    /// Internal (short-circuit + local interconnect) energy per output
+    /// toggle at the nominal corner, in femtojoules.
+    pub internal_energy_fj: f64,
+    /// Leakage power at the nominal corner, in nanowatts.
+    pub leakage_nw: f64,
+    /// Transistor count (drives area and leakage characterization).
+    pub transistor_count: u32,
+}
+
+impl Cell {
+    /// `true` if the cell holds state across clock cycles.
+    pub fn is_sequential(&self) -> bool {
+        self.seq.is_some()
+    }
+
+    /// Worst-case (slowest-arc) delay in ps driving `load_ff`, at the
+    /// nominal corner. Each arc's electrical effort uses its own input
+    /// pin capacitance, so larger-drive cells (bigger pins) are faster
+    /// into the same load.
+    pub fn worst_delay_ps(&self, tau_ps: f64, load_ff: f64) -> f64 {
+        self.arcs
+            .iter()
+            .map(|a| a.delay_ps(tau_ps, self.input_cap_ff[a.from_input], load_ff))
+            .fold(0.0, f64::max)
+    }
+
+    /// Delay of one arc in ps at the nominal corner, using this cell's
+    /// pin capacitances.
+    pub fn arc_delay_ps(&self, arc: &TimingArc, tau_ps: f64, load_ff: f64) -> f64 {
+        arc.delay_ps(tau_ps, self.input_cap_ff[arc.from_input], load_ff)
+    }
+}
+
+impl TimingArc {
+    /// Arc delay in picoseconds at the nominal corner for `load_ff` of
+    /// output load, launched through a pin of `cin_pin_ff` capacitance:
+    /// `d = τ·(p + g·C_load/C_pin)` — the logical-effort electrical
+    /// effort is measured against the *driving pin's* capacitance, which
+    /// is how drive strength enters the model.
+    pub fn delay_ps(&self, tau_ps: f64, cin_pin_ff: f64, load_ff: f64) -> f64 {
+        tau_ps * (self.parasitic + self.logical_effort * load_ff / cin_pin_ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(f: CellFunction, ins: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        f.eval(ins, false, &mut out);
+        out
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = ev(CellFunction::FullAdder, &[a, b, c]);
+                    let sum = a as u8 + b as u8 + c as u8;
+                    assert_eq!(out[0], sum & 1 == 1, "sum a={a} b={b} c={c}");
+                    assert_eq!(out[1], sum >= 2, "carry a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressor42_preserves_weighted_sum() {
+        // Invariant: a+b+c+d+cin == s + 2*(carry + cout).
+        for v in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| v >> i & 1 == 1).collect();
+            let out = ev(CellFunction::Compressor42, &bits);
+            let lhs: u32 = bits.iter().map(|&b| b as u32).sum();
+            let rhs = out[0] as u32 + 2 * (out[1] as u32 + out[2] as u32);
+            assert_eq!(lhs, rhs, "v={v:05b}");
+        }
+    }
+
+    #[test]
+    fn compressor42_cout_independent_of_cin() {
+        for v in 0u32..16 {
+            let mut bits: Vec<bool> = (0..4).map(|i| v >> i & 1 == 1).collect();
+            bits.push(false);
+            let c0 = ev(CellFunction::Compressor42, &bits)[2];
+            bits[4] = true;
+            let c1 = ev(CellFunction::Compressor42, &bits)[2];
+            assert_eq!(c0, c1, "cout must not depend on cin (v={v:04b})");
+        }
+    }
+
+    #[test]
+    fn oai_functions() {
+        assert_eq!(ev(CellFunction::Oai21, &[false, false, true])[0], true);
+        assert_eq!(ev(CellFunction::Oai21, &[true, false, true])[0], false);
+        assert_eq!(ev(CellFunction::Oai22, &[true, false, true, false])[0], false);
+        assert_eq!(ev(CellFunction::Oai22, &[false, false, true, true])[0], true);
+        assert_eq!(ev(CellFunction::Aoi21, &[true, true, false])[0], false);
+    }
+
+    #[test]
+    fn fused_mult_mux_selects_and_multiplies() {
+        // out = act & (s ? w1 : w0)
+        for act in [false, true] {
+            for w0 in [false, true] {
+                for w1 in [false, true] {
+                    for s in [false, true] {
+                        let out = ev(CellFunction::MultMuxFused, &[act, w0, w1, s])[0];
+                        assert_eq!(out, act & if s { w1 } else { w0 });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let out = ev(CellFunction::HalfAdder, &[a, b]);
+                assert_eq!(out[0], a ^ b);
+                assert_eq!(out[1], a & b);
+            }
+        }
+    }
+
+    #[test]
+    fn mux2_order_is_d0_d1_s() {
+        assert_eq!(ev(CellFunction::Mux2, &[true, false, false])[0], true);
+        assert_eq!(ev(CellFunction::Mux2, &[true, false, true])[0], false);
+    }
+
+    #[test]
+    fn seq_q_reads_state() {
+        let mut out = Vec::new();
+        CellFunction::SeqQ.eval(&[], true, &mut out);
+        assert_eq!(out, vec![true]);
+        CellFunction::SeqQ.eval(&[], false, &mut out);
+        assert_eq!(out, vec![false]);
+    }
+
+    #[test]
+    fn arc_delay_increases_with_load() {
+        let arc = TimingArc { from_input: 0, to_output: 0, parasitic: 1.0, logical_effort: 4.0 / 3.0 };
+        let d1 = arc.delay_ps(6.0, 1.2, 1.2);
+        let d4 = arc.delay_ps(6.0, 1.2, 4.8);
+        assert!(d4 > d1);
+        assert!((d1 - 6.0 * (1.0 + 4.0 / 3.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Custom-cell characterization flow.
+//!
+//! The paper (§III-B, Fig. 3): *"for customized circuits like SRAM cells,
+//! multipliers, and multiplexers, we design the layout and obtain PPA data
+//! through custom cell characterization flow, making them standard cells
+//! for integration into the digital flow."*
+//!
+//! This module is that flow for the synthetic process: a declarative
+//! [`CellSpec`] (transistor counts, logical-effort parameters, pin caps,
+//! energy coefficients) is turned into a fully characterized [`Cell`]
+//! with LIB-like timing/power/area views derived from [`Process`] constants.
+
+use crate::cell::{Cell, CellFunction, CellKind, SeqTiming, TimingArc};
+use crate::process::Process;
+
+/// Layout density class used to derive area from transistor count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityClass {
+    /// Standard-cell logic density.
+    Logic,
+    /// Pushed-rule SRAM array density (bitcells only).
+    SramArray,
+}
+
+/// Declarative description of a cell prior to characterization.
+///
+/// `arcs` entries are `(input_pin, output_pin, parasitic_p, logical_effort_g)`.
+/// `cin_rel` holds each input pin's capacitance as a multiple of the
+/// process unit inverter input capacitance.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Logic template of the cell.
+    pub kind: CellKind,
+    /// Library cell name.
+    pub name: &'static str,
+    /// Ordered input pin names.
+    pub inputs: Vec<&'static str>,
+    /// Ordered output pin names.
+    pub outputs: Vec<&'static str>,
+    /// Combinational (or sequential output-stage) function.
+    pub function: CellFunction,
+    /// Transistor count.
+    pub tcount: u32,
+    /// Layout density class.
+    pub density: DensityClass,
+    /// Input pin caps, as multiples of the unit inverter input cap.
+    pub cin_rel: Vec<f64>,
+    /// Timing arcs as `(from_input, to_output, p, g)`.
+    pub arcs: Vec<(usize, usize, f64, f64)>,
+    /// Internal energy per output toggle at nominal, in fJ.
+    pub internal_energy_fj: f64,
+    /// Sequential timing, if the cell stores state.
+    pub seq: Option<SeqTiming>,
+}
+
+/// Characterize a [`CellSpec`] against `process`, producing the LIB-like
+/// [`Cell`] view consumed by synthesis, STA, power analysis and layout.
+///
+/// Area is `transistor_count × area_per_transistor` for the spec's density
+/// class; leakage is `transistor_count × leak_per_t`; pin caps and arc
+/// delays are scaled by the process unit capacitance and τ at evaluation
+/// time.
+pub fn characterize(spec: &CellSpec, process: &Process) -> Cell {
+    let per_t = match spec.density {
+        DensityClass::Logic => process.area_per_t_logic_um2,
+        DensityClass::SramArray => process.area_per_t_sram_um2,
+    };
+    let area = spec.tcount as f64 * per_t;
+    let width = match spec.density {
+        DensityClass::Logic => area / process.row_height_um,
+        // Bitcells tile their own array grid; treat them as square-ish.
+        DensityClass::SramArray => area.sqrt(),
+    };
+    Cell {
+        kind: spec.kind,
+        name: spec.name.to_string(),
+        inputs: spec.inputs.clone(),
+        outputs: spec.outputs.clone(),
+        function: spec.function,
+        seq: spec.seq,
+        area_um2: area,
+        width_um: width,
+        input_cap_ff: spec.cin_rel.iter().map(|r| r * process.cin_unit_ff).collect(),
+        arcs: spec
+            .arcs
+            .iter()
+            .map(|&(fi, to, p, g)| TimingArc { from_input: fi, to_output: to, parasitic: p, logical_effort: g })
+            .collect(),
+        internal_energy_fj: spec.internal_energy_fj,
+        leakage_nw: spec.tcount as f64 * process.leak_per_t_nw,
+        transistor_count: spec.tcount,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_spec() -> CellSpec {
+        CellSpec {
+            kind: CellKind::Inv,
+            name: "INVX1",
+            inputs: vec!["a"],
+            outputs: vec!["y"],
+            function: CellFunction::Not,
+            tcount: 2,
+            density: DensityClass::Logic,
+            cin_rel: vec![1.0],
+            arcs: vec![(0, 0, 1.0, 1.0)],
+            internal_energy_fj: 0.35,
+            seq: None,
+        }
+    }
+
+    #[test]
+    fn characterized_inverter_matches_process_constants() {
+        let p = Process::syn40();
+        let cell = characterize(&inv_spec(), &p);
+        assert!((cell.area_um2 - 2.0 * p.area_per_t_logic_um2).abs() < 1e-12);
+        assert!((cell.input_cap_ff[0] - p.cin_unit_ff).abs() < 1e-12);
+        assert!((cell.leakage_nw - 2.0 * p.leak_per_t_nw).abs() < 1e-12);
+        // FO1 delay = tau * (p + g) = tau * 2.
+        let d = cell.arcs[0].delay_ps(p.tau_ps, p.cin_unit_ff, p.cin_unit_ff);
+        assert!((d - 2.0 * p.tau_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_density_is_denser_than_logic() {
+        let p = Process::syn40();
+        let mut spec = inv_spec();
+        spec.density = DensityClass::SramArray;
+        let dense = characterize(&spec, &p);
+        let logic = characterize(&inv_spec(), &p);
+        assert!(dense.area_um2 < logic.area_um2);
+    }
+}

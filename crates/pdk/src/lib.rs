@@ -1,0 +1,29 @@
+//! # syndcim-pdk — synthetic process & characterized cell library
+//!
+//! The foundation substrate of the SynDCIM reproduction. The paper's flow
+//! characterizes custom DCIM cells (SRAM bitcells, multiplier–multiplexer
+//! circuits) against a commercial 40 nm PDK and merges them with standard
+//! cells so the whole macro can run through a digital implementation flow.
+//! That PDK is proprietary, so this crate provides `syn40`: a synthetic but
+//! physically grounded 40 nm-class process (logical-effort timing, `½CV²`
+//! energy, alpha-power voltage scaling) plus the characterization flow that
+//! turns declarative cell specs into LIB-like [`Cell`] views.
+//!
+//! ```
+//! use syndcim_pdk::{CellKind, CellLibrary};
+//!
+//! let lib = CellLibrary::syn40();
+//! let fa = lib.cell(lib.id_of(CellKind::Fa));
+//! assert_eq!(fa.inputs.len(), 3);
+//! assert!(fa.area_um2 > 0.0);
+//! ```
+
+pub mod cell;
+pub mod characterize;
+pub mod library;
+pub mod process;
+
+pub use cell::{Cell, CellFunction, CellKind, SeqTiming, SeqUpdate, TimingArc};
+pub use characterize::{characterize, CellSpec, DensityClass};
+pub use library::{cell_specs, CellId, CellLibrary};
+pub use process::{OperatingPoint, Process};

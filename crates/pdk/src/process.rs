@@ -1,0 +1,232 @@
+//! Synthetic process definition and operating-point scaling models.
+//!
+//! The paper characterizes its subcircuits against a commercial 40 nm CMOS
+//! PDK. That PDK is proprietary, so this module defines `syn40`, a synthetic
+//! 40 nm-class process whose models are physically grounded:
+//!
+//! * gate delay follows the *logical effort* model, `d = τ·(p + g·h)`;
+//! * switching energy is `½·C·V²` plus a characterized internal energy;
+//! * supply-voltage scaling of delay follows the alpha-power law,
+//!   `t_d ∝ V / (V − V_th)^α`, calibrated so a SynDCIM-generated 64×64 macro
+//!   reproduces the silicon shmoo of the paper (≈1.1 GHz @ 1.2 V,
+//!   ≈300 MHz @ 0.7 V);
+//! * leakage scales super-linearly with supply and exponentially with
+//!   temperature.
+
+/// Static parameters of a (synthetic) CMOS process node.
+///
+/// All downstream tools (characterization, STA, power analysis, layout)
+/// consume the process only through this struct, exactly as a real flow
+/// consumes a PDK only through its LIB/LEF views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Human-readable node name, e.g. `"syn40"`.
+    pub name: &'static str,
+    /// Logical-effort time unit τ in picoseconds at the nominal corner.
+    pub tau_ps: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd_nom_v: f64,
+    /// Effective threshold voltage in volts (alpha-power law parameter).
+    pub vth_v: f64,
+    /// Velocity-saturation exponent α of the alpha-power law.
+    pub alpha: f64,
+    /// Nominal characterization temperature in °C.
+    pub temp_nom_c: f64,
+    /// Input capacitance of a unit-drive inverter in femtofarads.
+    pub cin_unit_ff: f64,
+    /// Wire capacitance per micrometre of routed length, in fF/µm.
+    pub wire_cap_ff_per_um: f64,
+    /// Wire resistance per micrometre, in Ω/µm (used for RC wire delay).
+    pub wire_res_ohm_per_um: f64,
+    /// Layout area per logic transistor in µm² (standard-cell density).
+    pub area_per_t_logic_um2: f64,
+    /// Layout area per SRAM-array transistor in µm² (pushed-rule density).
+    pub area_per_t_sram_um2: f64,
+    /// Standard-cell row height in µm (for placement).
+    pub row_height_um: f64,
+    /// Placement site width in µm.
+    pub site_width_um: f64,
+    /// Leakage per transistor at the nominal corner, in nanowatts.
+    pub leak_per_t_nw: f64,
+}
+
+impl Process {
+    /// The synthetic 40 nm-class process used throughout the reproduction.
+    ///
+    /// Constants are calibrated so that the full flow lands near the paper's
+    /// silicon anchor points (see `EXPERIMENTS.md` for measured values):
+    /// macro area ≈ 0.112 mm² for the 64×64/MCR=2 test macro, f_max ≈
+    /// 1.1 GHz at 1.2 V and ≈300 MHz at 0.7 V.
+    pub fn syn40() -> Self {
+        Process {
+            name: "syn40",
+            tau_ps: 6.0,
+            vdd_nom_v: 0.9,
+            vth_v: 0.47,
+            alpha: 1.6,
+            temp_nom_c: 25.0,
+            cin_unit_ff: 1.2,
+            wire_cap_ff_per_um: 0.20,
+            // Average over the routing stack: global nets ride mid/upper
+            // metals, far below M1 sheet resistance.
+            wire_res_ohm_per_um: 0.6,
+            area_per_t_logic_um2: 0.28,
+            area_per_t_sram_um2: 0.080,
+            row_height_um: 1.4,
+            site_width_um: 0.20,
+            leak_per_t_nw: 0.10,
+        }
+    }
+
+    /// Multiplicative delay scale factor at supply `vdd_v` relative to the
+    /// nominal supply, per the alpha-power law.
+    ///
+    /// Values above 1.0 mean *slower* than nominal. Returns `f64::INFINITY`
+    /// when `vdd_v` does not exceed the threshold voltage (the circuit does
+    /// not switch).
+    pub fn delay_scale(&self, vdd_v: f64) -> f64 {
+        if vdd_v <= self.vth_v {
+            return f64::INFINITY;
+        }
+        let num = vdd_v / (vdd_v - self.vth_v).powf(self.alpha);
+        let den = self.vdd_nom_v / (self.vdd_nom_v - self.vth_v).powf(self.alpha);
+        num / den
+    }
+
+    /// Multiplicative dynamic-energy scale factor at supply `vdd_v`
+    /// relative to nominal (`E ∝ V²`).
+    pub fn energy_scale(&self, vdd_v: f64) -> f64 {
+        (vdd_v / self.vdd_nom_v).powi(2)
+    }
+
+    /// Multiplicative leakage-power scale factor at supply `vdd_v` and
+    /// junction temperature `temp_c`, relative to the nominal corner.
+    ///
+    /// Leakage grows roughly with `V³` (DIBL) and exponentially with
+    /// temperature (~2× per 25 °C for a 40 nm-class node).
+    pub fn leakage_scale(&self, vdd_v: f64, temp_c: f64) -> f64 {
+        let v = (vdd_v / self.vdd_nom_v).powi(3);
+        let t = 2.0_f64.powf((temp_c - self.temp_nom_c) / 25.0);
+        v * t
+    }
+
+    /// Delay derate for temperature (temperature inversion ignored;
+    /// ~+8 % per 100 °C above nominal).
+    pub fn temp_delay_scale(&self, temp_c: f64) -> f64 {
+        1.0 + 0.0008 * (temp_c - self.temp_nom_c)
+    }
+
+    /// Elmore delay in picoseconds of a routed wire of length `len_um`
+    /// driving `load_ff` of pin capacitance.
+    pub fn wire_delay_ps(&self, len_um: f64, load_ff: f64) -> f64 {
+        let r = self.wire_res_ohm_per_um * len_um;
+        let c_wire = self.wire_cap_ff_per_um * len_um;
+        // Elmore: R_wire * (C_wire/2 + C_load); fF·Ω = 1e-3 ps.
+        r * (c_wire / 2.0 + load_ff) * 1e-3
+    }
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process::syn40()
+    }
+}
+
+/// A (voltage, temperature) corner at which timing and power are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Junction temperature in °C.
+    pub temp_c: f64,
+}
+
+impl OperatingPoint {
+    /// Operating point at the given supply and 25 °C.
+    pub fn at_voltage(vdd_v: f64) -> Self {
+        OperatingPoint { vdd_v, temp_c: 25.0 }
+    }
+
+    /// The nominal corner of `process` (nominal V, nominal T).
+    pub fn nominal(process: &Process) -> Self {
+        OperatingPoint { vdd_v: process.vdd_nom_v, temp_c: process.temp_nom_c }
+    }
+
+    /// Combined delay scale factor (voltage × temperature) for this corner.
+    pub fn delay_scale(&self, process: &Process) -> f64 {
+        process.delay_scale(self.vdd_v) * process.temp_delay_scale(self.temp_c)
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        OperatingPoint { vdd_v: 0.9, temp_c: 25.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_scales_are_unity() {
+        let p = Process::syn40();
+        assert!((p.delay_scale(p.vdd_nom_v) - 1.0).abs() < 1e-12);
+        assert!((p.energy_scale(p.vdd_nom_v) - 1.0).abs() < 1e-12);
+        assert!((p.leakage_scale(p.vdd_nom_v, p.temp_nom_c) - 1.0).abs() < 1e-12);
+        assert!((p.temp_delay_scale(p.temp_nom_c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_scale_monotone_in_voltage() {
+        let p = Process::syn40();
+        let mut prev = f64::INFINITY;
+        let mut v = 0.5;
+        while v <= 1.3 {
+            let s = p.delay_scale(v);
+            assert!(s < prev, "delay scale must fall as V rises (v={v})");
+            prev = s;
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn shmoo_anchor_ratio_roughly_matches_silicon() {
+        // Silicon: ~1.1 GHz @ 1.2 V vs ~300 MHz @ 0.7 V → ratio ≈ 3.67.
+        let p = Process::syn40();
+        let ratio = p.delay_scale(0.7) / p.delay_scale(1.2);
+        assert!(
+            (3.0..4.6).contains(&ratio),
+            "fmax(1.2V)/fmax(0.7V) = {ratio:.2} should be near 3.7"
+        );
+    }
+
+    #[test]
+    fn below_threshold_is_infinitely_slow() {
+        let p = Process::syn40();
+        assert!(p.delay_scale(0.3).is_infinite());
+        assert!(p.delay_scale(p.vth_v).is_infinite());
+    }
+
+    #[test]
+    fn energy_scale_is_quadratic() {
+        let p = Process::syn40();
+        let e = p.energy_scale(1.8);
+        assert!((e - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_doubles_per_25c() {
+        let p = Process::syn40();
+        let l = p.leakage_scale(p.vdd_nom_v, p.temp_nom_c + 25.0);
+        assert!((l - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_delay_is_positive_and_grows_with_length() {
+        let p = Process::syn40();
+        let d1 = p.wire_delay_ps(10.0, 2.0);
+        let d2 = p.wire_delay_ps(100.0, 2.0);
+        assert!(d1 > 0.0 && d2 > d1 * 5.0);
+    }
+}

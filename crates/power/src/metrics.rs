@@ -1,0 +1,100 @@
+//! Throughput / efficiency metrics in the units DCIM papers report.
+//!
+//! A multiply-accumulate counts as 2 operations. "Scaling to 1b-1b"
+//! multiplies the op count by the product of the operand widths, the
+//! normalization used in the paper's Table II (e.g. the 64×64 macro at
+//! 1.1 GHz delivers 2·64·64·1.1 GHz ≈ 9 TOPS at 1b×1b).
+
+use syndcim_sim::Precision;
+
+/// Operation accounting for one DCIM macro configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacThroughput {
+    /// Array height (rows reduced per adder tree).
+    pub h: usize,
+    /// Array width (1-bit weight columns).
+    pub w: usize,
+    /// Activation precision (drives bit-serial cycle count).
+    pub act: Precision,
+    /// Weight precision (drives column grouping).
+    pub weight: Precision,
+}
+
+impl MacThroughput {
+    /// MACs completed per *full bit-serial pass*: `h` rows × `w/w_bits`
+    /// output channels.
+    pub fn macs_per_pass(&self) -> f64 {
+        self.h as f64 * (self.w as f64 / self.weight.datapath_bits() as f64)
+    }
+
+    /// Cycles per pass (one per activation bit).
+    pub fn cycles_per_pass(&self) -> f64 {
+        self.act.datapath_bits() as f64
+    }
+
+    /// Operations (2·MAC) per cycle at the operand precision.
+    pub fn ops_per_cycle(&self) -> f64 {
+        2.0 * self.macs_per_pass() / self.cycles_per_pass()
+    }
+
+    /// Throughput in TOPS at `freq_mhz`, at the operand precision.
+    pub fn tops(&self, freq_mhz: f64) -> f64 {
+        self.ops_per_cycle() * freq_mhz * 1e6 / 1e12
+    }
+
+    /// Throughput in TOPS at `freq_mhz`, normalized to 1b×1b operations
+    /// (the "(scaling to 1b-1b)" convention).
+    pub fn tops_1b(&self, freq_mhz: f64) -> f64 {
+        let scale = self.act.datapath_bits() as f64 * self.weight.datapath_bits() as f64;
+        self.tops(freq_mhz) * scale
+    }
+}
+
+/// Energy efficiency in TOPS/W.
+pub fn tops_per_w(tops: f64, total_uw: f64) -> f64 {
+    tops / (total_uw * 1e-6)
+}
+
+/// Area efficiency in TOPS/mm² for an area given in µm².
+pub fn tops_per_mm2(tops: f64, area_um2: f64) -> f64 {
+    tops / (area_um2 * 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_throughput_reproduces() {
+        // 64×64 @ 1.1 GHz, 1b×1b → 2·64·64·1.1e9 = 9.01 TOPS (Table II).
+        let t = MacThroughput { h: 64, w: 64, act: Precision::Int(1), weight: Precision::Int(1) };
+        let tops = t.tops(1100.0);
+        assert!((tops - 9.01).abs() < 0.02, "got {tops}");
+        assert_eq!(t.tops_1b(1100.0), tops);
+    }
+
+    #[test]
+    fn int8_costs_64x_vs_1b() {
+        let t1 = MacThroughput { h: 64, w: 64, act: Precision::Int(1), weight: Precision::Int(1) };
+        let t8 = MacThroughput { h: 64, w: 64, act: Precision::INT8, weight: Precision::INT8 };
+        let f = 800.0;
+        assert!((t1.tops(f) / t8.tops(f) - 64.0).abs() < 1e-9);
+        // 1b-normalized throughput is identical.
+        assert!((t8.tops_1b(f) - t1.tops_1b(f)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_units() {
+        // 1 TOPS at 1 W = 1 TOPS/W; at 0.112 mm² ≈ 8.93 TOPS/mm².
+        assert!((tops_per_w(1.0, 1e6) - 1.0).abs() < 1e-12);
+        assert!((tops_per_mm2(1.0, 112_000.0) - 8.928).abs() < 0.01);
+    }
+
+    #[test]
+    fn area_efficiency_anchor_from_paper() {
+        // Table II: 9 TOPS (1b) / 0.112 mm² ≈ 80.5 TOPS/mm².
+        let t = MacThroughput { h: 64, w: 64, act: Precision::Int(1), weight: Precision::Int(1) };
+        let eff = tops_per_mm2(t.tops(1100.0), 112_000.0);
+        assert!((75.0..85.0).contains(&eff), "got {eff}");
+    }
+}

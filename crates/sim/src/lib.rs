@@ -1,0 +1,30 @@
+//! # syndcim-sim — cycle-accurate simulation, golden models, workloads
+//!
+//! The verification and activity-measurement substrate:
+//!
+//! * [`Simulator`] — levelized two-value cycle simulator with per-net
+//!   toggle counting (the gate-level-simulation role of the paper's
+//!   sign-off flow);
+//! * [`golden`] — behavioural models of the bit-serial DCIM MAC schedule
+//!   (integer and aligned-FP), against which every generated netlist is
+//!   checked bit-for-bit;
+//! * [`formats`] — INT1/2/4/8, FP4, FP8, BF16 operand formats;
+//! * [`vectors`] — operand generators with controllable sparsity and bit
+//!   density, reproducing the paper's measurement conditions.
+//!
+//! ```
+//! use syndcim_sim::golden::DcimChannelTrace;
+//!
+//! let acts = [3i64, -2, 7, 0];
+//! let weights = [1i64, -4, 2, 5];
+//! let trace = DcimChannelTrace::run(&acts, &weights, 4, 4);
+//! assert_eq!(trace.output, acts.iter().zip(&weights).map(|(a, w)| a * w).sum::<i64>());
+//! ```
+
+pub mod formats;
+pub mod golden;
+pub mod simulator;
+pub mod vectors;
+
+pub use formats::{FpFormat, FpValue, Precision};
+pub use simulator::Simulator;

@@ -1,0 +1,283 @@
+//! FP & INT alignment unit.
+//!
+//! "This unit translates floating-point format data to integer format as
+//! required by the DCIM macro through a comparator tree and shifters"
+//! (§II-B, RedCIM style). For each group of `h` FP activations it:
+//!
+//! 1. finds the maximum exponent through a pairwise comparator tree;
+//! 2. right-shifts each significand (implicit one + mantissa) by
+//!    `e_max − e_i`, truncating shifted-out bits exactly as the golden
+//!    model does;
+//! 3. applies the sign, producing `man_bits + 2`-bit signed integers
+//!    ready for bit-serial entry into the array.
+//!
+//! The generated netlist is verified bit-exactly against
+//! [`syndcim_sim::golden::fp_align`].
+
+use crate::arith::{barrel_shift_right, conditional_negate, ge_unsigned, mux_word, sub_unsigned};
+use syndcim_netlist::{NetId, NetlistBuilder};
+use syndcim_sim::FpFormat;
+
+/// Per-row FP input ports.
+#[derive(Debug, Clone)]
+pub struct FpRowPorts {
+    /// Sign bit.
+    pub sign: NetId,
+    /// Exponent field, LSB first.
+    pub exp: Vec<NetId>,
+    /// Mantissa field, LSB first.
+    pub man: Vec<NetId>,
+}
+
+/// Result of [`build_align`].
+#[derive(Debug, Clone)]
+pub struct AlignOut {
+    /// Aligned signed mantissas, one bus (`man_bits + 2` wide) per row.
+    pub aligned: Vec<Vec<NetId>>,
+    /// The shared maximum exponent.
+    pub e_max: Vec<NetId>,
+}
+
+/// Build the alignment unit for `rows` FP inputs in format `fmt`.
+/// Equivalent to [`build_align_pipelined`] with `pipelined = false`.
+///
+/// Instances are grouped under `align`.
+///
+/// # Panics
+///
+/// Panics if `rows.is_empty()` or any bus width disagrees with `fmt`.
+pub fn build_align(b: &mut NetlistBuilder<'_>, fmt: FpFormat, rows: &[FpRowPorts]) -> AlignOut {
+    build_align_pipelined(b, fmt, rows, false)
+}
+
+/// Build the alignment unit, optionally registering the maximum exponent
+/// between the comparator tree and the per-row shifters. Pipelining is
+/// the searcher's timing fix for tall arrays, where the `log₂ h`-deep
+/// comparator tree dominates the alignment path.
+///
+/// # Panics
+///
+/// Panics if `rows.is_empty()` or any bus width disagrees with `fmt`.
+pub fn build_align_pipelined(
+    b: &mut NetlistBuilder<'_>,
+    fmt: FpFormat,
+    rows: &[FpRowPorts],
+    pipelined: bool,
+) -> AlignOut {
+    assert!(!rows.is_empty(), "alignment unit needs at least one row");
+    let e = fmt.exp_bits as usize;
+    let m = fmt.man_bits as usize;
+    for r in rows {
+        assert_eq!(r.exp.len(), e, "exponent width mismatch");
+        assert_eq!(r.man.len(), m, "mantissa width mismatch");
+    }
+    b.push_group("align");
+
+    // 1) Comparator tree for e_max. Upper levels span the whole array
+    // physically, so every level's result is re-buffered; in pipelined
+    // mode a register bank splits the tree in half and a second bank
+    // isolates the shifters (tall arrays cannot traverse the whole tree
+    // in one cycle).
+    let depth = (usize::BITS - (rows.len() - 1).leading_zeros()) as usize;
+    let mid = depth.div_ceil(2);
+    let mut level: Vec<Vec<NetId>> = rows.iter().map(|r| r.exp.clone()).collect();
+    let mut lvl_idx = 0usize;
+    while level.len() > 1 {
+        lvl_idx += 1;
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(x) => {
+                    let a_ge = ge_unsigned(b, &a, &x);
+                    let m = mux_word(b, &x, &a, a_ge);
+                    let m: Vec<NetId> = m.iter().map(|&bit| b.add(syndcim_pdk::CellKind::BufX4, &[bit])[0]).collect();
+                    next.push(m);
+                }
+                None => next.push(a),
+            }
+        }
+        if pipelined && lvl_idx == mid {
+            next = next.iter().map(|w| b.dff_bus(w)).collect();
+        }
+        level = next;
+    }
+    let mut e_max = level.pop().expect("one maximum remains");
+    if pipelined {
+        e_max = b.dff_bus(&e_max);
+    }
+
+    // 2) Per-row shift + sign.
+    let shift_bits = usize::BITS as usize - (m + 1).leading_zeros() as usize; // enough to express m+1
+    let aligned = rows
+        .iter()
+        .map(|r| {
+            // significand = {1, man} (implicit one; true zero handled below).
+            let one = b.const1();
+            let mut sig: Vec<NetId> = r.man.clone();
+            sig.push(one);
+
+            // shift = e_max − e_i (never negative).
+            let shift = sub_unsigned(b, &e_max, &r.exp);
+
+            // Shift by the low bits; any high bit set ⇒ shift ≥ 2^shift_bits
+            // > m+1 ⇒ result is zero.
+            let zero = b.const0();
+            let low = &shift[..shift_bits.min(shift.len())];
+            let mut shifted = barrel_shift_right(b, &sig, low, zero);
+            if shift.len() > shift_bits {
+                let mut big = shift[shift_bits];
+                for &s in &shift[shift_bits + 1..] {
+                    big = b.or2(big, s);
+                }
+                let keep = b.not(big);
+                shifted = shifted.iter().map(|&bit| b.and2(bit, keep)).collect();
+            }
+
+            // Zero flush: exp == 0 && man == 0 ⇒ force zero.
+            let mut any = r.sign; // placeholder start; replaced below
+            let mut first = true;
+            for &bit in r.exp.iter().chain(r.man.iter()) {
+                any = if first { bit } else { b.or2(any, bit) };
+                first = false;
+            }
+            let masked: Vec<NetId> = shifted.iter().map(|&bit| b.and2(bit, any)).collect();
+
+            // Sign: two's-complement negate when the sign bit is set.
+            let mut mag = masked;
+            mag.push(zero); // room for the sign
+            conditional_negate(b, &mag, r.sign)
+        })
+        .collect();
+
+    b.pop_group();
+    AlignOut { aligned, e_max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::Module;
+    use syndcim_pdk::CellLibrary;
+    use syndcim_sim::golden::fp_align;
+    use syndcim_sim::vectors::{random_fp, seeded_rng};
+    use syndcim_sim::{FpValue, Simulator};
+
+    fn build(fmt: FpFormat, h: usize) -> (Module, CellLibrary) {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("align", &lib);
+        let rows: Vec<FpRowPorts> = (0..h)
+            .map(|r| FpRowPorts {
+                sign: b.input(format!("s{r}")),
+                exp: b.input_bus(&format!("e{r}"), fmt.exp_bits as usize),
+                man: b.input_bus(&format!("m{r}"), fmt.man_bits as usize),
+            })
+            .collect();
+        let out = build_align(&mut b, fmt, &rows);
+        for (r, bus) in out.aligned.iter().enumerate() {
+            b.output_bus(&format!("a{r}"), bus);
+        }
+        b.output_bus("emax", &out.e_max);
+        (b.finish(), lib)
+    }
+
+    fn drive_and_check(fmt: FpFormat, vals: &[FpValue], sim: &mut Simulator<'_>) {
+        for (r, v) in vals.iter().enumerate() {
+            sim.set(&format!("s{r}"), v.sign);
+            sim.set_bus(&format!("e{r}"), fmt.exp_bits, v.exp_field as i64);
+            sim.set_bus(&format!("m{r}"), fmt.man_bits, v.man_field as i64);
+        }
+        sim.settle();
+        let (want, emax) = fp_align(vals, fmt);
+        assert_eq!(sim.get_bus_unsigned("emax", fmt.exp_bits) as i32, emax, "emax");
+        for (r, &w) in want.iter().enumerate() {
+            let got = sim.get_bus_signed(&format!("a{r}"), fmt.aligned_bits());
+            assert_eq!(got, w, "row {r}: vals={vals:?}");
+        }
+    }
+
+    #[test]
+    fn fp8_exhaustive_pairs() {
+        let fmt = FpFormat::FP8;
+        let (m, lib) = build(fmt, 2);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        // Sweep a representative grid of exponent/mantissa/sign combos.
+        for b0 in (0..256u32).step_by(7) {
+            let v0 = FpValue::from_bits(b0, fmt);
+            let v0 = if v0.exp_field == 0 { FpValue::ZERO } else { v0 };
+            for b1 in (0..256u32).step_by(11) {
+                let v1 = FpValue::from_bits(b1, fmt);
+                let v1 = if v1.exp_field == 0 { FpValue::ZERO } else { v1 };
+                drive_and_check(fmt, &[v0, v1], &mut sim);
+            }
+        }
+    }
+
+    #[test]
+    fn all_formats_random_groups() {
+        for fmt in [FpFormat::FP4, FpFormat::FP8, FpFormat::BF16] {
+            let h = 8;
+            let (m, lib) = build(fmt, h);
+            let mut sim = Simulator::new(&m, &lib).unwrap();
+            let mut rng = seeded_rng(99);
+            for _ in 0..20 {
+                let vals = random_fp(&mut rng, h, fmt);
+                drive_and_check(fmt, &vals, &mut sim);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_align_matches_after_one_extra_cycle() {
+        let fmt = FpFormat::FP8;
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("alp", &lib);
+        let rows: Vec<FpRowPorts> = (0..4)
+            .map(|r| FpRowPorts {
+                sign: b.input(format!("s{r}")),
+                exp: b.input_bus(&format!("e{r}"), fmt.exp_bits as usize),
+                man: b.input_bus(&format!("m{r}"), fmt.man_bits as usize),
+            })
+            .collect();
+        let out = build_align_pipelined(&mut b, fmt, &rows, true);
+        for (r, bus) in out.aligned.iter().enumerate() {
+            b.output_bus(&format!("a{r}"), bus);
+        }
+        let m = b.finish();
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        let mut rng = seeded_rng(4);
+        let vals = random_fp(&mut rng, 4, fmt);
+        for (r, v) in vals.iter().enumerate() {
+            sim.set(&format!("s{r}"), v.sign);
+            sim.set_bus(&format!("e{r}"), fmt.exp_bits, v.exp_field as i64);
+            sim.set_bus(&format!("m{r}"), fmt.man_bits, v.man_field as i64);
+        }
+        sim.step(); // mid-tree register bank
+        sim.step(); // e_max register
+        sim.settle();
+        let (want, _) = fp_align(&vals, fmt);
+        for (r, &w) in want.iter().enumerate() {
+            assert_eq!(sim.get_bus_signed(&format!("a{r}"), fmt.aligned_bits()), w);
+        }
+    }
+
+    #[test]
+    fn all_zero_group_aligns_to_zero() {
+        let fmt = FpFormat::FP8;
+        let (m, lib) = build(fmt, 4);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        drive_and_check(fmt, &[FpValue::ZERO; 4], &mut sim);
+    }
+
+    #[test]
+    fn far_apart_exponents_flush_small_values() {
+        let fmt = FpFormat::BF16;
+        let (m, lib) = build(fmt, 2);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        let big = FpValue { sign: false, exp_field: 200, man_field: 5 };
+        let tiny = FpValue { sign: true, exp_field: 3, man_field: 127 };
+        drive_and_check(fmt, &[big, tiny], &mut sim);
+        // The tiny value must have flushed to exactly zero.
+        assert_eq!(sim.get_bus_signed("a1", fmt.aligned_bits()), 0);
+    }
+}

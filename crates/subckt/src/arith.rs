@@ -1,0 +1,321 @@
+//! Shared structural arithmetic helpers ("RTL templates").
+//!
+//! These are the building blocks the seven subcircuit generators share:
+//! ripple-carry addition, conditional negation, barrel shifting,
+//! comparison — all emitted as gate-level structure through
+//! [`NetlistBuilder`].
+
+use syndcim_netlist::{NetId, NetlistBuilder};
+
+/// Number of bits needed to represent the unsigned count `0..=n`.
+pub fn count_bits(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// Sign-extend (or truncate) `bits` to exactly `width` nets, reusing the
+/// top bit as the extension.
+pub fn sign_extend(bits: &[NetId], width: usize) -> Vec<NetId> {
+    assert!(!bits.is_empty());
+    let mut out = bits.to_vec();
+    let msb = *out.last().expect("non-empty");
+    while out.len() < width {
+        out.push(msb);
+    }
+    out.truncate(width);
+    out
+}
+
+/// Zero-extend (or truncate) `bits` to `width` nets using `zero`.
+pub fn zero_extend(bits: &[NetId], width: usize, zero: NetId) -> Vec<NetId> {
+    let mut out = bits.to_vec();
+    while out.len() < width {
+        out.push(zero);
+    }
+    out.truncate(width);
+    out
+}
+
+/// Ripple-carry adder over equal-width operands; returns `(sum, carry)`.
+/// The first stage uses a half adder when `cin` is `None`.
+pub fn rca(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId], cin: Option<NetId>) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), x.len(), "rca operands must match in width");
+    assert!(!a.is_empty());
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (&ai, &xi) in a.iter().zip(x) {
+        match carry {
+            None => {
+                let (s, c) = b.ha(ai, xi);
+                sum.push(s);
+                carry = Some(c);
+            }
+            Some(c0) => {
+                let (s, c) = b.fa(ai, xi, c0);
+                sum.push(s);
+                carry = Some(c);
+            }
+        }
+    }
+    (sum, carry.expect("width >= 1 produces a carry"))
+}
+
+/// Signed addition: operands sign-extended to `width`, result truncated
+/// to `width` bits (wrap-around two's complement semantics).
+pub fn add_signed(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId], width: usize) -> Vec<NetId> {
+    let ae = sign_extend(a, width);
+    let xe = sign_extend(x, width);
+    let (sum, _) = rca(b, &ae, &xe, None);
+    sum
+}
+
+/// Carry-select signed addition: operands sign-extended to `width`, the
+/// sum computed in 8-bit blocks with precomputed carry-0/carry-1 copies
+/// selected by the inter-block carry chain. Roughly `8·t_FA + n/8·t_mux`
+/// instead of `n·t_FA` — what synthesis emits for wide adders under a
+/// tight clock, at ~1.8× the ripple adder's area.
+pub fn csel_add_signed(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId], width: usize) -> Vec<NetId> {
+    const BLOCK: usize = 8;
+    let ae = sign_extend(a, width);
+    let xe = sign_extend(x, width);
+    if width <= BLOCK {
+        let (sum, _) = rca(b, &ae, &xe, None);
+        return sum;
+    }
+    let mut out = Vec::with_capacity(width);
+    let mut carry_sel: Option<NetId> = None;
+    let mut base = 0usize;
+    while base < width {
+        let end = (base + BLOCK).min(width);
+        let ab = &ae[base..end];
+        let xb = &xe[base..end];
+        match carry_sel {
+            None => {
+                let (sum, c) = rca(b, ab, xb, None);
+                out.extend(sum);
+                carry_sel = Some(c);
+            }
+            Some(sel) => {
+                let zero = b.const0();
+                let one = b.const1();
+                let (s0, c0) = rca(b, ab, xb, Some(zero));
+                let (s1, c1) = rca(b, ab, xb, Some(one));
+                for (lo, hi) in s0.iter().zip(&s1) {
+                    out.push(b.mux2(*lo, *hi, sel));
+                }
+                carry_sel = Some(b.mux2(c0, c1, sel));
+            }
+        }
+        base = end;
+    }
+    out
+}
+
+/// Conditionally negate a two's-complement value: when `neg` is high the
+/// output is `−value` (implemented as XOR with `neg` plus carry-in).
+pub fn conditional_negate(b: &mut NetlistBuilder<'_>, bits: &[NetId], neg: NetId) -> Vec<NetId> {
+    let inverted: Vec<NetId> = bits.iter().map(|&bit| b.xor2(bit, neg)).collect();
+    // +neg via an incrementer chain (HA ripple).
+    let mut out = Vec::with_capacity(bits.len());
+    let mut carry = neg;
+    for &bit in &inverted {
+        let (s, c) = b.ha(bit, carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+/// Logical right-shift by a variable amount through a mux barrel
+/// (`shift` is little-endian; stage `k` shifts by `2^k`). Vacated
+/// positions fill with `fill`.
+pub fn barrel_shift_right(
+    b: &mut NetlistBuilder<'_>,
+    bits: &[NetId],
+    shift: &[NetId],
+    fill: NetId,
+) -> Vec<NetId> {
+    let mut cur = bits.to_vec();
+    for (k, &s) in shift.iter().enumerate() {
+        let amt = 1usize << k;
+        let mut next = Vec::with_capacity(cur.len());
+        for i in 0..cur.len() {
+            let shifted = if i + amt < cur.len() { cur[i + amt] } else { fill };
+            next.push(b.mux2(cur[i], shifted, s));
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Unsigned comparison: returns a net that is high when `a >= x`
+/// (computed as the carry-out of `a + ~x + 1`).
+pub fn ge_unsigned(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId]) -> NetId {
+    assert_eq!(a.len(), x.len());
+    let nx: Vec<NetId> = x.iter().map(|&bit| b.not(bit)).collect();
+    let one = b.const1();
+    let (_, carry) = rca(b, a, &nx, Some(one));
+    carry
+}
+
+/// Word-wide 2:1 mux.
+pub fn mux_word(b: &mut NetlistBuilder<'_>, d0: &[NetId], d1: &[NetId], s: NetId) -> Vec<NetId> {
+    assert_eq!(d0.len(), d1.len());
+    d0.iter().zip(d1).map(|(&a, &c)| b.mux2(a, c, s)).collect()
+}
+
+/// Unsigned subtraction `a − x` assuming `a >= x`; returns `a.len()` bits.
+pub fn sub_unsigned(b: &mut NetlistBuilder<'_>, a: &[NetId], x: &[NetId]) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len());
+    let nx: Vec<NetId> = x.iter().map(|&bit| b.not(bit)).collect();
+    let one = b.const1();
+    let (diff, _) = rca(b, a, &nx, Some(one));
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::Module;
+    use syndcim_pdk::CellLibrary;
+    use syndcim_sim::Simulator;
+
+    fn harness(build: impl FnOnce(&mut NetlistBuilder<'_>)) -> (Module, CellLibrary) {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("t", &lib);
+        build(&mut b);
+        (b.finish(), lib)
+    }
+
+    #[test]
+    fn count_bits_matches_log2() {
+        assert_eq!(count_bits(1), 1);
+        assert_eq!(count_bits(2), 2);
+        assert_eq!(count_bits(63), 6);
+        assert_eq!(count_bits(64), 7);
+        assert_eq!(count_bits(256), 9);
+    }
+
+    #[test]
+    fn rca_adds_exhaustively() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 4);
+            let x = b.input_bus("x", 4);
+            let (s, c) = rca(b, &a, &x, None);
+            b.output_bus("s", &s);
+            b.output("c", c);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in 0..16u64 {
+            for x in 0..16u64 {
+                sim.set_bus("a", 4, a as i64);
+                sim.set_bus("x", 4, x as i64);
+                sim.settle();
+                let got = sim.get_bus_unsigned("s", 4) | (sim.get("c") as u64) << 4;
+                assert_eq!(got, a + x, "a={a} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_add_wraps_correctly() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 4);
+            let x = b.input_bus("x", 4);
+            let s = add_signed(b, &a, &x, 5);
+            b.output_bus("s", &s);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in -8i64..8 {
+            for x in -8i64..8 {
+                sim.set_bus("a", 4, a);
+                sim.set_bus("x", 4, x);
+                sim.settle();
+                assert_eq!(sim.get_bus_signed("s", 5), a + x, "a={a} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_negate_both_ways() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 5);
+            let neg = b.input("neg");
+            let y = conditional_negate(b, &a, neg);
+            b.output_bus("y", &y);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in -16i64..16 {
+            for neg in [false, true] {
+                sim.set_bus("a", 5, a);
+                sim.set("neg", neg);
+                sim.settle();
+                let want = if neg { (-a) & 0x1F } else { a & 0x1F };
+                assert_eq!(sim.get_bus_unsigned("y", 5) as i64, want, "a={a} neg={neg}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_matches_shr() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 8);
+            let sh = b.input_bus("sh", 3);
+            let zero = b.const0();
+            let y = barrel_shift_right(b, &a, &sh, zero);
+            b.output_bus("y", &y);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in [0u64, 1, 0x80, 0xAB, 0xFF] {
+            for sh in 0..8u64 {
+                sim.set_bus("a", 8, a as i64);
+                sim.set_bus("sh", 3, sh as i64);
+                sim.settle();
+                assert_eq!(sim.get_bus_unsigned("y", 8), a >> sh, "a={a:#x} sh={sh}");
+            }
+        }
+    }
+
+    #[test]
+    fn ge_and_sub_unsigned() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 4);
+            let x = b.input_bus("x", 4);
+            let ge = ge_unsigned(b, &a, &x);
+            let d = sub_unsigned(b, &a, &x);
+            b.output("ge", ge);
+            b.output_bus("d", &d);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in 0..16u64 {
+            for x in 0..16u64 {
+                sim.set_bus("a", 4, a as i64);
+                sim.set_bus("x", 4, x as i64);
+                sim.settle();
+                assert_eq!(sim.get("ge"), a >= x, "a={a} x={x}");
+                if a >= x {
+                    assert_eq!(sim.get_bus_unsigned("d", 4), a - x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let (m, lib) = harness(|b| {
+            let a = b.input_bus("a", 3);
+            let x = b.input_bus("x", 3);
+            let s = b.input("s");
+            let y = mux_word(b, &a, &x, s);
+            b.output_bus("y", &y);
+        });
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        sim.set_bus("a", 3, 0b101);
+        sim.set_bus("x", 3, 0b010);
+        sim.set("s", false);
+        sim.settle();
+        assert_eq!(sim.get_bus_unsigned("y", 3), 0b101);
+        sim.set("s", true);
+        sim.settle();
+        assert_eq!(sim.get_bus_unsigned("y", 3), 0b010);
+    }
+}

@@ -1,0 +1,32 @@
+//! # syndcim-subckt — the seven DCIM subcircuit generators
+//!
+//! Gate-level generators ("parameterized RTL templates" in the paper's
+//! terms) for every subcircuit of a DCIM macro (§II-B):
+//!
+//! | Subcircuit | Module | Variants |
+//! |---|---|---|
+//! | Memory cell | [`array`] | 6T+2T SRAM, 8T latch, 12T OAI |
+//! | Multiplier & multiplexer | [`array`] | 1T pass gate, TG+NOR, fused OAI22 |
+//! | WL/BL driver | [`driver`] | fanout-sized buffer chains |
+//! | Adder tree | [`adder_tree`] | RCA baseline, pure 4-2 compressor CSA, mixed CSA (+ carry reorder, retimable final RCA) |
+//! | Shift & adder | [`shift_add`] | bit-serial shift-right accumulator |
+//! | Output fusion unit | [`ofu`] | reconfigurable multi-precision fusion (+ retimable negate, extra pipeline) |
+//! | FP & INT alignment | [`align`] | comparator tree + truncating shifters |
+//!
+//! Every generator is verified against the behavioural golden models in
+//! `syndcim_sim::golden`, bit for bit.
+
+pub mod adder_tree;
+pub mod align;
+pub mod arith;
+pub mod array;
+pub mod driver;
+pub mod ofu;
+pub mod shift_add;
+
+pub use adder_tree::{build_adder_tree, AdderTreeConfig, AdderTreeKind, TreeOutput};
+pub use align::{build_align, build_align_pipelined, AlignOut, FpRowPorts};
+pub use array::{build_array, ArrayConfig, ArrayOut, BitcellKind, BitcellRef, MultMuxKind};
+pub use driver::{build_drivers, chain_for_fanout, DriverRole};
+pub use ofu::{build_column_negate, build_ofu, negate_levels, OfuConfig, OfuOut};
+pub use shift_add::{build_shift_add, ShiftAddConfig, ShiftAddOut};

@@ -1,0 +1,206 @@
+//! Shift-and-adder (S&A): the bit-serial accumulator.
+//!
+//! Accumulates the per-cycle adder-tree partial sums over the serial
+//! activation bits. The datapath is the classic shift-right accumulator:
+//! each cycle computes `A ← (A >>ₐ 1) + (±psum) · 2^(n−1)`, where the
+//! partial sum is *subtracted* on the cycle carrying the activation MSB
+//! (two's-complement sign handling). After `n` cycles the register holds
+//! `Σₜ ±2^t·psumₜ` exactly.
+//!
+//! Width is `S + n` bits (`S` = tree output width, `n` = serial bits),
+//! and the adder only spans the top `S + 1` positions — the lower bits
+//! shift through untouched, which is what makes the S&A cheap.
+
+use crate::arith::rca;
+use syndcim_netlist::{NetId, NetlistBuilder};
+
+/// Configuration for [`build_shift_add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShiftAddConfig {
+    /// Width of the per-cycle partial sum from the adder tree.
+    pub psum_bits: usize,
+    /// Number of serial activation bits (cycles per pass).
+    pub act_bits: usize,
+}
+
+impl ShiftAddConfig {
+    /// Accumulator register width: `psum_bits + act_bits`.
+    pub fn acc_bits(&self) -> usize {
+        self.psum_bits + self.act_bits
+    }
+}
+
+/// Result of [`build_shift_add`].
+#[derive(Debug, Clone)]
+pub struct ShiftAddOut {
+    /// The accumulator register outputs (signed, LSB first).
+    pub acc: Vec<NetId>,
+}
+
+/// Build one S&A column.
+///
+/// * `psum` — the adder-tree output for this column (unsigned count);
+/// * `neg` — high on the cycle carrying the activation MSB (subtract);
+/// * `clear` — high on the first cycle of a pass (accumulator restarts).
+///
+/// The returned [`ShiftAddOut::acc`] holds the completed dot-product
+/// contribution after `act_bits` cycles.
+///
+/// # Panics
+///
+/// Panics if `psum.len() != cfg.psum_bits` or `cfg.act_bits == 0`.
+pub fn build_shift_add(
+    b: &mut NetlistBuilder<'_>,
+    cfg: ShiftAddConfig,
+    psum: &[NetId],
+    neg: NetId,
+    clear: NetId,
+) -> ShiftAddOut {
+    assert_eq!(psum.len(), cfg.psum_bits, "psum width mismatch");
+    assert!(cfg.act_bits >= 1, "need at least one serial bit");
+    let w = cfg.acc_bits();
+    let k = cfg.act_bits - 1; // addend offset
+
+    // Accumulator registers: create with placeholder inputs, patch after
+    // the combinational next-state logic exists.
+    let placeholders: Vec<NetId> = (0..w).map(|_| b.anon()).collect();
+    let acc: Vec<NetId> = placeholders.iter().map(|&d| b.dff(d)).collect();
+    let reg_first = b.module().instance_count() - w;
+
+    // Arithmetic shift right by one (pure wiring) + clear gating.
+    let nclear = b.not(clear);
+    let shifted: Vec<NetId> = (0..w)
+        .map(|i| {
+            let src = if i + 1 < w { acc[i + 1] } else { acc[w - 1] };
+            b.and2(src, nclear)
+        })
+        .collect();
+
+    // Addend: ±psum at offset k. XOR with neg gives the one's complement;
+    // the +1 completing two's complement enters as carry-in at bit k.
+    let addend: Vec<NetId> = psum.iter().map(|&p| b.xor2(p, neg)).collect();
+
+    // Bits below k pass straight through; the adder spans bits k..w with
+    // the addend sign-extended by `neg`.
+    let mut next = Vec::with_capacity(w);
+    next.extend_from_slice(&shifted[..k]);
+    let hi_a: Vec<NetId> = shifted[k..].to_vec();
+    let mut hi_b: Vec<NetId> = addend.clone();
+    while hi_b.len() < hi_a.len() {
+        hi_b.push(neg); // sign extension of the (possibly negated) psum
+    }
+    hi_b.truncate(hi_a.len());
+    let (sum, _carry) = rca(b, &hi_a, &hi_b, Some(neg));
+    next.extend(sum);
+
+    // Patch the register D-pins.
+    for (i, &d) in next.iter().enumerate() {
+        // The register instances were created contiguously.
+        let inst = reg_first + i;
+        b_patch(b, inst, d);
+    }
+    let _ = placeholders;
+
+    ShiftAddOut { acc }
+}
+
+// Registers are created before their next-state logic, so their D inputs
+// must be patched afterwards. NetlistBuilder exposes the module only
+// read-only; this helper performs the controlled mutation.
+fn b_patch(b: &mut NetlistBuilder<'_>, inst_index: usize, d: NetId) {
+    b.patch_instance_input(inst_index, 0, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::Module;
+    use syndcim_pdk::CellLibrary;
+    use syndcim_sim::golden::{bit_serial_schedule, column_psum, twos_complement_bit};
+    use syndcim_sim::Simulator;
+
+    fn build(cfg: ShiftAddConfig) -> (Module, CellLibrary) {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("sa", &lib);
+        let psum = b.input_bus("psum", cfg.psum_bits);
+        let neg = b.input("neg");
+        let clear = b.input("clear");
+        let out = build_shift_add(&mut b, cfg, &psum, neg, clear);
+        b.output_bus("acc", &out.acc);
+        (b.finish(), lib)
+    }
+
+    /// Drive a sequence of psums through the S&A and return the result.
+    fn run_pass(sim: &mut Simulator<'_>, cfg: ShiftAddConfig, psums: &[u64]) -> i64 {
+        assert_eq!(psums.len(), cfg.act_bits);
+        for (t, &p) in psums.iter().enumerate() {
+            sim.set_bus("psum", cfg.psum_bits as u32, p as i64);
+            sim.set("neg", t == cfg.act_bits - 1);
+            sim.set("clear", t == 0);
+            sim.step();
+        }
+        sim.get_bus_signed("acc", cfg.acc_bits() as u32)
+    }
+
+    #[test]
+    fn accumulates_bit_serial_schedule() {
+        let cfg = ShiftAddConfig { psum_bits: 3, act_bits: 4 };
+        let (m, lib) = build(cfg);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        // psums 0..8 over 4 cycles, last negative.
+        let got = run_pass(&mut sim, cfg, &[3, 0, 7, 1]);
+        let want = 3 + 0 * 2 + 7 * 4 - 8;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_golden_channel_model() {
+        // Full integration with the golden DCIM schedule: H=7 rows of
+        // INT4 activations against a fixed 1-bit weight column.
+        let cfg = ShiftAddConfig { psum_bits: 3, act_bits: 4 };
+        let (m, lib) = build(cfg);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        let acts: Vec<i64> = vec![-8, 7, 3, -1, 0, 5, -4];
+        let w_col = [true, false, true, true, true, false, true];
+        let schedule = bit_serial_schedule(&acts, 4);
+        let psums: Vec<u64> = schedule.iter().map(|bits| column_psum(bits, &w_col)).collect();
+        let got = run_pass(&mut sim, cfg, &psums);
+        let want: i64 = acts.iter().zip(&w_col).map(|(&a, &w)| a * w as i64).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn back_to_back_passes_are_independent() {
+        let cfg = ShiftAddConfig { psum_bits: 2, act_bits: 2 };
+        let (m, lib) = build(cfg);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        let first = run_pass(&mut sim, cfg, &[3, 1]);
+        assert_eq!(first, 3 - 2);
+        // Second pass must not inherit anything from the first.
+        let second = run_pass(&mut sim, cfg, &[1, 0]);
+        assert_eq!(second, 1);
+    }
+
+    #[test]
+    fn single_bit_acts_are_pure_sign() {
+        // INT1 activations: one cycle, always the negative MSB.
+        let cfg = ShiftAddConfig { psum_bits: 3, act_bits: 1 };
+        let (m, lib) = build(cfg);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        let got = run_pass(&mut sim, cfg, &[5]);
+        assert_eq!(got, -5);
+    }
+
+    #[test]
+    fn exhaustive_int3_against_arithmetic() {
+        let cfg = ShiftAddConfig { psum_bits: 2, act_bits: 3 };
+        let (m, lib) = build(cfg);
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for a in -4i64..4 {
+            // A single row with weight 1: psum_t = bit t of a.
+            let psums: Vec<u64> = (0..3).map(|t| twos_complement_bit(a, 3, t) as u64).collect();
+            let got = run_pass(&mut sim, cfg, &psums);
+            assert_eq!(got, a, "serial accumulation of {a}");
+        }
+    }
+}

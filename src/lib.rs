@@ -1,0 +1,1 @@
+pub use syndcim_core as core;

@@ -1,0 +1,128 @@
+//! Property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use syndcim_netlist::NetlistBuilder;
+use syndcim_pdk::CellLibrary;
+use syndcim_sim::golden::{fp_align, DcimChannelTrace};
+use syndcim_sim::{FpFormat, FpValue, Simulator};
+use syndcim_subckt::{build_adder_tree, AdderTreeConfig, AdderTreeKind, TreeOutput};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any adder-tree variant counts any input pattern exactly.
+    #[test]
+    fn adder_tree_counts(bits in proptest::collection::vec(any::<bool>(), 4..40),
+                         fa_rounds in 0usize..4,
+                         reorder in any::<bool>()) {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let ins = b.input_bus("in", bits.len());
+        let kind = if fa_rounds == 0 { AdderTreeKind::CompressorCsa } else { AdderTreeKind::MixedCsa { fa_rounds } };
+        let cfg = AdderTreeConfig { kind, carry_reorder: reorder, final_cpa: true };
+        let out = match build_adder_tree(&mut b, &ins, cfg) {
+            TreeOutput::Binary(s) => s,
+            TreeOutput::CarrySave { .. } => unreachable!("final_cpa = true"),
+        };
+        let width = out.len() as u32;
+        b.output_bus("sum", &out);
+        let m = b.finish();
+        let mut sim = Simulator::new(&m, &lib).unwrap();
+        for (i, &v) in bits.iter().enumerate() {
+            sim.set(&format!("in[{i}]"), v);
+        }
+        sim.settle();
+        let want = bits.iter().filter(|&&x| x).count() as u64;
+        prop_assert_eq!(sim.get_bus_unsigned("sum", width), want);
+    }
+
+    /// The golden bit-serial channel model equals the plain dot product
+    /// for every signed precision combination.
+    #[test]
+    fn golden_channel_is_exact(acts in proptest::collection::vec(-128i64..=127, 1..24),
+                               ws in proptest::collection::vec(-8i64..=7, 1..24)) {
+        let n = acts.len().min(ws.len());
+        let acts = &acts[..n];
+        let ws = &ws[..n];
+        let tr = DcimChannelTrace::run(acts, ws, 8, 4);
+        let want: i64 = acts.iter().zip(ws).map(|(a, w)| a * w).sum();
+        prop_assert_eq!(tr.output, want);
+    }
+
+    /// FP alignment never increases magnitude and preserves sign.
+    #[test]
+    fn fp_align_bounds(bits in proptest::collection::vec(0u32..256, 2..12)) {
+        let fmt = FpFormat::FP8;
+        let vals: Vec<FpValue> = bits
+            .iter()
+            .map(|&b| {
+                let v = FpValue::from_bits(b, fmt);
+                if v.exp_field == 0 { FpValue::ZERO } else { v }
+            })
+            .collect();
+        let (aligned, emax) = fp_align(&vals, fmt);
+        for (v, &a) in vals.iter().zip(&aligned) {
+            prop_assert!(a.unsigned_abs() <= (1 << (fmt.man_bits + 1)), "mantissa bound");
+            if a != 0 {
+                prop_assert_eq!(a < 0, v.sign);
+            }
+            if !v.is_zero() {
+                prop_assert!(emax >= v.exp_field as i32);
+            }
+        }
+    }
+
+    /// Pareto frontier points never dominate each other.
+    #[test]
+    fn pareto_non_domination(seeds in proptest::collection::vec((1u32..1000, 1u32..1000, 1usize..20), 1..40)) {
+        use syndcim_core::{pareto_frontier, DesignChoice, DesignPoint, PpaEstimate};
+        let pts: Vec<DesignPoint> = seeds
+            .iter()
+            .map(|&(p, a, l)| DesignPoint {
+                choice: DesignChoice::default(),
+                est: PpaEstimate {
+                    power_uw: p as f64,
+                    area_um2: a as f64,
+                    latency_cycles: l,
+                    timing_met: true,
+                    ..Default::default()
+                },
+            })
+            .collect();
+        let f = pareto_frontier(&pts);
+        prop_assert!(!f.is_empty());
+        for x in &f {
+            for y in &f {
+                let dom = x.est.power_uw <= y.est.power_uw
+                    && x.est.area_um2 <= y.est.area_um2
+                    && x.est.latency_cycles <= y.est.latency_cycles
+                    && (x.est.power_uw < y.est.power_uw
+                        || x.est.area_um2 < y.est.area_um2
+                        || x.est.latency_cycles < y.est.latency_cycles);
+                prop_assert!(!dom, "frontier contains dominated point");
+            }
+        }
+    }
+
+    /// STA arrival times never decrease along the critical path.
+    #[test]
+    fn sta_arrivals_monotone(depth in 2usize..24) {
+        use syndcim_sta::Sta;
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a");
+        let mut x = a;
+        for i in 0..depth {
+            x = if i % 2 == 0 { b.xor2(x, x) } else { b.not(x) };
+        }
+        b.output("y", x);
+        let m = b.finish();
+        let sta = Sta::new(&m, &lib).unwrap();
+        let rep = sta.analyze(1e9);
+        let mut prev = -1.0;
+        for s in &rep.critical_path {
+            prop_assert!(s.arrival_ps >= prev);
+            prev = s.arrival_ps;
+        }
+    }
+}
