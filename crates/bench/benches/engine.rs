@@ -1,0 +1,65 @@
+//! Interpreter vs. compiled-engine vector throughput on the paper
+//! test-chip MAC netlist (64×64, MCR 2, INT1–8 + FP4/FP8).
+//!
+//! One "vector" is a full random input assignment stepped through one
+//! clock cycle. The interpreter simulates one vector per step; the
+//! engine simulates 64 (one per `u64` lane). The bench reports both
+//! iteration times and the resulting per-vector throughput ratio, and
+//! fails if the engine is not at least 10× faster — the acceptance bar
+//! for the compiled backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use syndcim_core::{assemble, DesignChoice, MacroSpec};
+use syndcim_engine::{BatchSim, Program};
+use syndcim_netlist::NetId;
+use syndcim_pdk::CellLibrary;
+use syndcim_sim::{SimBackend, Simulator};
+
+/// Cheap xorshift stimulus source (identical cost in both arms).
+fn next_word(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn bench_vector_throughput(c: &mut Criterion) {
+    let lib = CellLibrary::syn40();
+    let spec = MacroSpec::paper_test_chip();
+    let mac = assemble(&lib, &spec, &DesignChoice::default());
+    let module = &mac.module;
+    let prog = Program::compile(module, &lib).expect("paper test chip compiles");
+    let in_nets: Vec<NetId> = module.input_ports().map(|p| p.net).collect();
+
+    let interp = c.bench_stats("interpreter_vector_paper_chip", |b| {
+        let mut sim = Simulator::new(module, &lib).unwrap();
+        let mut state = 0x5EED;
+        b.iter(|| {
+            for &net in &in_nets {
+                sim.poke(net, next_word(&mut state) & 1 == 1);
+            }
+            Simulator::step(&mut sim);
+        });
+    });
+
+    let engine = c.bench_stats("engine_64vectors_paper_chip", |b| {
+        let mut sim = BatchSim::new(&prog, module, 64);
+        let mut state = 0x5EED;
+        b.iter(|| {
+            for &net in &in_nets {
+                sim.poke_word(net, next_word(&mut state));
+            }
+            sim.step();
+        });
+    });
+
+    let interp_vps = 1e9 / interp.ns_per_iter;
+    let engine_vps = 64.0 * 1e9 / engine.ns_per_iter;
+    let ratio = engine_vps / interp_vps;
+    println!("interpreter: {interp_vps:>12.0} vectors/s");
+    println!("engine:      {engine_vps:>12.0} vectors/s  ({ratio:.1}x)");
+    assert!(ratio >= 10.0, "engine must deliver >= 10x vector throughput, got {ratio:.1}x");
+}
+
+criterion_group!(benches, bench_vector_throughput);
+criterion_main!(benches);

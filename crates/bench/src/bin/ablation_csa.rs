@@ -6,7 +6,10 @@ use syndcim_subckt::{AdderTreeConfig, AdderTreeKind};
 fn main() {
     let mut scl = Scl::new();
     println!("Adder-tree ablation (per-column tree, pre-layout SCL characterization)");
-    println!("{:<16}{:>6}{:>12}{:>12}{:>14}{:>10}", "variant", "H", "delay ps", "area um2", "energy fJ/cy", "reorder");
+    println!(
+        "{:<16}{:>6}{:>12}{:>12}{:>14}{:>10}",
+        "variant", "H", "delay ps", "area um2", "energy fJ/cy", "reorder"
+    );
     for h in [16usize, 32, 64, 128] {
         for kind in [
             AdderTreeKind::RcaTree,
@@ -21,7 +24,12 @@ fn main() {
                 let r = scl.adder_tree(h, cfg);
                 println!(
                     "{:<16}{:>6}{:>12.0}{:>12.0}{:>14.0}{:>10}",
-                    kind.to_string(), h, r.delay_ps, r.area_um2, r.energy_fj_per_cycle, reorder
+                    kind.to_string(),
+                    h,
+                    r.delay_ps,
+                    r.area_um2,
+                    r.energy_fj_per_cycle,
+                    reorder
                 );
             }
         }

@@ -3,6 +3,9 @@
 use syndcim_core::{pareto_frontier, search, DesignPoint, MacroSpec};
 use syndcim_scl::Scl;
 
+/// A predicate keeping the design points a disallowed move would not have produced.
+type MoveFilter = Box<dyn Fn(&DesignPoint) -> bool>;
+
 fn frontier_stats(points: &[DesignPoint]) -> (usize, f64, f64) {
     let f = pareto_frontier(points);
     let best_p = f.iter().map(|p| p.est.power_uw).fold(f64::INFINITY, f64::min);
@@ -20,7 +23,7 @@ fn main() {
     println!("{:<34}{:>10}{:>16}{:>16}", "allowed moves", "frontier", "min power uW", "min area um2");
     let all = frontier_stats(&res.feasible);
     println!("{:<34}{:>10}{:>16.0}{:>16.0}", "all moves", all.0, all.1, all.2);
-    let cases: Vec<(&str, Box<dyn Fn(&DesignPoint) -> bool>)> = vec![
+    let cases: Vec<(&str, MoveFilter)> = vec![
         ("no tree retiming", Box::new(|p: &DesignPoint| !p.choice.tree_retimed)),
         ("no column split", Box::new(|p: &DesignPoint| p.choice.column_split == 1)),
         ("no register merging", Box::new(|p: &DesignPoint| p.choice.pipe_tree_sa)),

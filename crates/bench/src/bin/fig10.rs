@@ -16,7 +16,10 @@ fn main() {
     let a = paper_anchors();
     println!(
         "die {:.0}x{:.0} um, area {:.3} mm2 (paper: 455x246 um, {:.3} mm2), utilization {:.0}%",
-        im.placement.die.w_um, im.placement.die.h_um, im.area_mm2(), a.area_mm2,
+        im.placement.die.w_um,
+        im.placement.die.h_um,
+        im.area_mm2(),
+        a.area_mm2,
         im.placement.utilization * 100.0
     );
 }

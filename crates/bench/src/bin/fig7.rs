@@ -29,7 +29,10 @@ fn main() {
     let f = 500.0;
     let mut rng = seeded_rng(42);
     println!("Fig. 7: post-layout energy efficiency (TOPS/W at the stated precision), dense operands @0.9V");
-    println!("{:<10}{:>10}{:>10}{:>10}{:>10}{:>14}{:>14}", "dim", "INT4", "INT8", "FP8", "BF16", "FP8/INT4 pwr", "BF16/INT8 pwr");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>14}{:>14}",
+        "dim", "INT4", "INT8", "FP8", "BF16", "FP8/INT4 pwr", "BF16/INT8 pwr"
+    );
     for &dim in dims {
         // Integer macro (no alignment unit).
         let (im_int, lib) = implement_best(&int_spec(dim));
@@ -49,20 +52,26 @@ fn main() {
         let (im_fp8, lib8) = implement_best(&s8);
         {
             let ch = dim / 8;
-            let w: Vec<Vec<_>> = (0..ch).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::FP8), FpFormat::FP8)).collect();
-            let a: Vec<Vec<_>> = (0..4).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::FP8), FpFormat::FP8)).collect();
+            let w: Vec<Vec<_>> =
+                (0..ch).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::FP8), FpFormat::FP8)).collect();
+            let a: Vec<Vec<_>> =
+                (0..4).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::FP8), FpFormat::FP8)).collect();
             let m = measure_fp(&im_fp8, &lib8, &a, &w, op, f).expect("verified");
             eff.insert("FP8".into(), m.tops_per_w);
             pwr.insert("FP8".into(), m.power.total_uw());
         }
         // BF16 macro (16-column channels).
-        let mut s16 = MacroSpec { int_precisions: vec![8], fp_precisions: vec![FpFormat::BF16], ..int_spec(dim) };
+        let mut s16 =
+            MacroSpec { int_precisions: vec![8], fp_precisions: vec![FpFormat::BF16], ..int_spec(dim) };
         s16.w = dim.max(16);
         let (im_bf, lib16) = implement_best(&s16);
         {
             let ch = s16.w / 16;
-            let w: Vec<Vec<_>> = (0..ch).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::BF16), FpFormat::BF16)).collect();
-            let a: Vec<Vec<_>> = (0..4).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::BF16), FpFormat::BF16)).collect();
+            let w: Vec<Vec<_>> = (0..ch)
+                .map(|_| clustered(random_fp(&mut rng, dim, FpFormat::BF16), FpFormat::BF16))
+                .collect();
+            let a: Vec<Vec<_>> =
+                (0..4).map(|_| clustered(random_fp(&mut rng, dim, FpFormat::BF16), FpFormat::BF16)).collect();
             let m = measure_fp(&im_bf, &lib16, &a, &w, op, f).expect("verified");
             eff.insert("BF16".into(), m.tops_per_w);
             pwr.insert("BF16".into(), m.power.total_uw());
@@ -70,9 +79,15 @@ fn main() {
         println!(
             "{:<10}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>13.2}x{:>13.2}x",
             format!("{dim}x{dim}"),
-            eff["INT4"], eff["INT8"], eff["FP8"], eff["BF16"],
-            pwr["FP8"] / pwr["INT4"], pwr["BF16"] / pwr["INT8"],
+            eff["INT4"],
+            eff["INT8"],
+            eff["FP8"],
+            eff["BF16"],
+            pwr["FP8"] / pwr["INT4"],
+            pwr["BF16"] / pwr["INT8"],
         );
     }
-    println!("\npaper shape: efficiency rises with dimension; FP8 ~= +10% power vs INT4, BF16 ~= +20% vs INT8");
+    println!(
+        "\npaper shape: efficiency rises with dimension; FP8 ~= +10% power vs INT4, BF16 ~= +20% vs INT8"
+    );
 }

@@ -16,7 +16,13 @@ fn main() {
     println!("\nPareto frontier (search estimates):");
     println!("{:<54}{:>12}{:>12}{:>9}", "design point", "power uW", "area um2", "latency");
     for p in &res.frontier {
-        println!("{:<54}{:>12.0}{:>12.0}{:>9}", p.choice.label(), p.est.power_uw, p.est.area_um2, p.est.latency_cycles);
+        println!(
+            "{:<54}{:>12.0}{:>12.0}{:>9}",
+            p.choice.label(),
+            p.est.power_uw,
+            p.est.area_um2,
+            p.est.latency_cycles
+        );
     }
 
     // Implement four representative picks + the baselines through the
@@ -35,12 +41,24 @@ fn main() {
     for (name, choice) in picks {
         let im = implement(&lib, &spec, &choice).expect("flow");
         let f = im.fmax_mhz(&lib, syndcim_pdk::OperatingPoint::at_voltage(0.9));
-        println!("{:<54}{:>10.3}{:>12.0}{:>12}", format!("{name} [{}]", choice.label()), im.area_mm2(), f, im.mac.module.instance_count());
+        println!(
+            "{:<54}{:>10.3}{:>12.0}{:>12}",
+            format!("{name} [{}]", choice.label()),
+            im.area_mm2(),
+            f,
+            im.mac.module.instance_count()
+        );
     }
     for kind in BaselineKind::ALL {
         let im = implement(&lib, &spec, &kind.choice()).expect("flow");
         let f = im.fmax_mhz(&lib, syndcim_pdk::OperatingPoint::at_voltage(0.9));
-        println!("{:<54}{:>10.3}{:>12.0}{:>12}", kind.label(), im.area_mm2(), f, im.mac.module.instance_count());
+        println!(
+            "{:<54}{:>10.3}{:>12.0}{:>12}",
+            kind.label(),
+            im.area_mm2(),
+            f,
+            im.mac.module.instance_count()
+        );
     }
     println!("\npaper shape: searched points span energy- and area-leaning corners; fixed templates sit off the frontier");
 }

@@ -19,8 +19,10 @@ fn main() {
     println!("fmax @1.2V     {:>7.0} MHz {:>9.0} MHz", anchors.fmax_1v2_mhz, f12);
     println!("fmax @0.7V     {:>7.0} MHz {:>9.0} MHz", anchors.fmax_0v7_mhz, f07);
     let tput = syndcim_power::MacThroughput {
-        h: spec.h, w: spec.w,
-        act: syndcim_sim::Precision::Int(1), weight: syndcim_sim::Precision::Int(1),
+        h: spec.h,
+        w: spec.w,
+        act: syndcim_sim::Precision::Int(1),
+        weight: syndcim_sim::Precision::Int(1),
     };
     println!("TOPS(1b) @1.2V {:>7.1}     {:>9.1}", anchors.tops_1b, tput.tops(f12));
 }

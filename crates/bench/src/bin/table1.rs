@@ -2,7 +2,11 @@
 use syndcim_core::published::table1_compilers;
 
 fn tick(b: bool) -> &'static str {
-    if b { "yes" } else { "-" }
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
 }
 
 fn main() {

@@ -21,12 +21,17 @@ fn main() {
     println!("Table II: test macro vs published DCIM silicon (1bx1b-normalized)");
     println!("{:<28}{:>6}{:>12}{:>14}{:>14}", "design", "node", "fmax MHz", "TOPS/W (1b)", "TOPS/mm2 (1b)");
     for r in table2_references() {
-        println!("{:<28}{:>6}{:>12.0}{:>14.0}{:>14.1}", r.name, r.node_nm, r.fmax_mhz, r.tops_per_w_1b, r.tops_per_mm2_1b);
+        println!(
+            "{:<28}{:>6}{:>12.0}{:>14.0}{:>14.1}",
+            r.name, r.node_nm, r.fmax_mhz, r.tops_per_w_1b, r.tops_per_mm2_1b
+        );
     }
     let f12 = im.fmax_mhz(&lib, OperatingPoint::at_voltage(1.2));
     let tput = syndcim_power::MacThroughput {
-        h: spec.h, w: spec.w,
-        act: syndcim_sim::Precision::Int(1), weight: syndcim_sim::Precision::Int(1),
+        h: spec.h,
+        w: spec.w,
+        act: syndcim_sim::Precision::Int(1),
+        weight: syndcim_sim::Precision::Int(1),
     };
     let area_eff = syndcim_power::tops_per_mm2(tput.tops(f12), im.placement.die_area_um2());
     println!(
@@ -34,6 +39,9 @@ fn main() {
         "SynDCIM (this run)", 40, f12, m.tops_per_w_1b, area_eff
     );
     let a = paper_anchors();
-    println!("\npaper-reported chip: {:.0} TOPS/W (1b), {:.1} TOPS/mm2 (1b), measured @ {} checked outputs", a.tops_per_w_1b, a.tops_per_mm2_1b, m.checked_outputs);
+    println!(
+        "\npaper-reported chip: {:.0} TOPS/W (1b), {:.1} TOPS/mm2 (1b), measured @ {} checked outputs",
+        a.tops_per_w_1b, a.tops_per_mm2_1b, m.checked_outputs
+    );
     println!("measurement: INT4, input bit density 12.5%, weight sparsity 50%, {f:.0} MHz @0.7V, 25C");
 }

@@ -22,9 +22,16 @@ fn main() {
     for bitcell in BitcellKind::ALL {
         let choice = DesignChoice { bitcell: *bitcell, ..DesignChoice::default() };
         let im = implement(&lib, &spec, &choice).expect("flow");
-        let m = measure_weight_update(&im, &lib, OperatingPoint::at_voltage(0.9), 400.0, 7).expect("verified");
+        let m =
+            measure_weight_update(&im, &lib, OperatingPoint::at_voltage(0.9), 400.0, 7).expect("verified");
         let setup = lib.cell(lib.id_of(bitcell.cell_kind())).seq.unwrap().setup_ps;
-        println!("{:<12}{:>16.1}{:>16.1}{:>18.0}", bitcell.to_string(), m.energy_per_bit_fj, m.bandwidth_gbps, setup);
+        println!(
+            "{:<12}{:>16.1}{:>16.1}{:>18.0}",
+            bitcell.to_string(),
+            m.energy_per_bit_fj,
+            m.bandwidth_gbps,
+            setup
+        );
     }
     println!("\npaper shape: the 8T latch is the robust fast-write cell; the 12T OAI cell trades area/write speed for design feasibility");
 }

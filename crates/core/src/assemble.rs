@@ -19,8 +19,8 @@ use syndcim_netlist::{Module, NetId, NetlistBuilder};
 use syndcim_pdk::CellLibrary;
 use syndcim_sim::FpFormat;
 use syndcim_subckt::{
-    build_adder_tree, build_array, build_drivers, build_ofu, build_shift_add, negate_levels,
-    AdderTreeConfig, ArrayConfig, BitcellRef, DriverRole, FpRowPorts, OfuConfig, ShiftAddConfig, TreeOutput,
+    build_adder_tree, build_array, build_drivers, build_ofu, build_shift_add, negate_levels, AdderTreeConfig,
+    ArrayConfig, BitcellRef, DriverRole, FpRowPorts, OfuConfig, ShiftAddConfig, TreeOutput,
 };
 
 use crate::arithmetic_support::{combine_counts, cpa};
@@ -211,7 +211,7 @@ pub fn assemble(lib: &CellLibrary, spec: &MacroSpec, choice: &DesignChoice) -> M
         final_cpa: !choice.tree_retimed,
     };
     let split = choice.column_split.max(1);
-    assert!(split.is_power_of_two() && h % split == 0, "column split must divide H");
+    assert!(split.is_power_of_two() && h.is_multiple_of(split), "column split must divide H");
 
     let mut sa_buses: Vec<Vec<NetId>> = Vec::with_capacity(w);
     for c in 0..w {
@@ -358,7 +358,7 @@ mod tests {
         assert_eq!(m.groups, 2); // 8 columns / 4-bit weights
         assert_eq!(m.act_bits, 4);
         assert_eq!(m.sa_bits, 4 + 4); // count_bits(8) + act_bits
-        // Output ports exist for every level.
+                                      // Output ports exist for every level.
         assert!(m.module.port(&format!("{}[0]", m.output_port(0, 0, 0))).is_some());
         assert!(m.module.port(&format!("{}[0]", m.output_port(1, 2, 0))).is_some());
     }

@@ -132,9 +132,7 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        let mut c = DesignChoice::default();
-        c.tree_retimed = true;
-        c.column_split = 2;
+        let c = DesignChoice { tree_retimed: true, column_split: 2, ..DesignChoice::default() };
         let l = c.label();
         assert!(l.contains("retime") && l.contains("split2"), "{l}");
     }
@@ -143,11 +141,21 @@ mod tests {
     fn score_follows_weights() {
         let cheap_power = DesignPoint {
             choice: DesignChoice::default(),
-            est: PpaEstimate { power_uw: 100.0, area_um2: 100_000.0, latency_cycles: 10, ..Default::default() },
+            est: PpaEstimate {
+                power_uw: 100.0,
+                area_um2: 100_000.0,
+                latency_cycles: 10,
+                ..Default::default()
+            },
         };
         let cheap_area = DesignPoint {
             choice: DesignChoice::default(),
-            est: PpaEstimate { power_uw: 10_000.0, area_um2: 1_000.0, latency_cycles: 10, ..Default::default() },
+            est: PpaEstimate {
+                power_uw: 10_000.0,
+                area_um2: 1_000.0,
+                latency_cycles: 10,
+                ..Default::default()
+            },
         };
         let e = PpaWeights::energy_leaning();
         let a = PpaWeights::area_leaning();

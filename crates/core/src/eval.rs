@@ -3,14 +3,43 @@
 //! measure power/efficiency from the observed switching activity —
 //! the "post-layout simulation" sign-off of the paper, plus the
 //! measurement conditions of its evaluation section.
+//!
+//! Every measurement drives a [`SimBackend`]. Two backends exist:
+//!
+//! * [`EvalBackend::Engine`] (default) — the compiled bit-parallel
+//!   `syndcim_engine` backend: up to 64 measurement passes evaluate
+//!   simultaneously as `u64` lanes, and pass chunks fan out across
+//!   worker threads sharing one compiled program;
+//! * [`EvalBackend::Interpreter`] — the levelized reference
+//!   `syndcim_sim::Simulator`, running passes sequentially exactly as
+//!   the original sign-off flow did.
+//!
+//! Outputs are golden-model-checked in both backends, so a functional
+//! divergence between them can never go unnoticed.
 
+use syndcim_engine::{parallel_map, BatchSim, Program};
+use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
 use syndcim_sim::golden::{bit_serial_schedule, fp_align, int_dot, twos_complement_bit, DcimChannelTrace};
-use syndcim_sim::{FpValue, Precision, Simulator};
+use syndcim_sim::{FpValue, Precision, SimBackend, Simulator};
 
+use crate::assemble::MacroNetlist;
 use crate::error::CoreError;
 use crate::flow::ImplementedMacro;
+
+/// Maximum lanes one `u64`-word engine executor carries.
+const MAX_LANES: usize = 64;
+
+/// Which simulation backend a measurement drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalBackend {
+    /// Compiled bit-parallel engine (lanes + worker threads).
+    #[default]
+    Engine,
+    /// Interpreted levelized reference simulator.
+    Interpreter,
+}
 
 /// Result of one measured workload.
 #[derive(Debug, Clone)]
@@ -32,9 +61,29 @@ pub struct MacMeasurement {
     pub energy_per_mac_fj: f64,
 }
 
+/// Switching activity accumulated by one or more backend instances:
+/// per-net toggle totals plus the matching lane-cycle denominator.
+#[derive(Debug, Clone)]
+pub(crate) struct Activity {
+    pub toggles: Vec<u64>,
+    pub lane_cycles: u64,
+    pub checked: usize,
+}
+
+impl Activity {
+    fn merge(mut acc: Activity, other: &Activity) -> Activity {
+        for (t, o) in acc.toggles.iter_mut().zip(&other.toggles) {
+            *t += o;
+        }
+        acc.lane_cycles += other.lane_cycles;
+        acc.checked += other.checked;
+        acc
+    }
+}
+
 /// Measure an integer MAC workload at `pa`-bit precision (activations
 /// and weights both `pa` bits, `pa` a power of two ≤ the macro's
-/// configured precision).
+/// configured precision) on the default (engine) backend.
 ///
 /// `passes` holds one activation vector (length `h`) per pass;
 /// `weights[ch]` holds the `h` signed weights of output channel `ch`
@@ -61,6 +110,26 @@ pub fn measure_int(
     op: OperatingPoint,
     f_mhz: f64,
 ) -> Result<MacMeasurement, CoreError> {
+    measure_int_with(im, lib, pa, passes, weights, op, f_mhz, EvalBackend::default())
+}
+
+/// [`measure_int`] with an explicit backend choice.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if any output disagrees
+/// with the golden model.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_int_with(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    pa: u32,
+    passes: &[Vec<i64>],
+    weights: &[Vec<i64>],
+    op: OperatingPoint,
+    f_mhz: f64,
+    backend: EvalBackend,
+) -> Result<MacMeasurement, CoreError> {
     let mac = &im.mac;
     assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
     let channels = mac.w / pa as usize;
@@ -68,33 +137,83 @@ pub fn measure_int(
     assert!(weights.iter().all(|w| w.len() == mac.h));
     assert!(passes.iter().all(|a| a.len() == mac.h));
 
-    let mut sim = Simulator::new(&mac.module, lib)?;
-    preload_weights(&mut sim, mac, pa, weights);
-    configure_precision(&mut sim, mac, pa);
-    quiesce(&mut sim, mac);
-    sim.reset_activity();
-
-    let mut checked = 0usize;
-    for acts in passes {
-        run_pass(&mut sim, mac, pa, acts);
-        for (ch, wvec) in weights.iter().enumerate() {
-            let got = read_channel(&sim, mac, pa, ch);
-            let want = DcimChannelTrace::run(acts, wvec, pa, pa).output;
-            if got != want {
-                return Err(CoreError::FunctionalMismatch { channel: ch, got, want });
-            }
-            checked += 1;
-        }
-    }
-
-    let measurement = finish_measurement(im, lib, &sim, pa, pa, passes.len(), op, f_mhz);
-    Ok(MacMeasurement { checked_outputs: checked, ..measurement })
+    let activity = int_activity(mac, lib, pa, passes, weights, backend)?;
+    let measurement = finish_measurement(im, lib, &activity, pa, pa, op, f_mhz);
+    Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
 }
 
-/// Measure an FP MAC workload in the macro's configured FP format. FP
-/// activations go through the on-macro alignment unit; FP weights are
-/// pre-aligned (as the paper's flow stores them) and written as signed
-/// mantissas across `next_power_of_two(man+2)` columns.
+/// Run the INT workload on the chosen backend and return its activity.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches (wrong vector lengths, `pa` larger
+/// than the macro supports) — the same contract as [`measure_int`].
+pub(crate) fn int_activity(
+    mac: &MacroNetlist,
+    lib: &CellLibrary,
+    pa: u32,
+    passes: &[Vec<i64>],
+    weights: &[Vec<i64>],
+    backend: EvalBackend,
+) -> Result<Activity, CoreError> {
+    assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
+    assert_eq!(weights.len(), mac.w / pa as usize, "need one weight vector per channel");
+    assert!(weights.iter().all(|w| w.len() == mac.h), "weight vectors must have H entries");
+    assert!(passes.iter().all(|a| a.len() == mac.h), "activation vectors must have H entries");
+    let golden =
+        |lane_acts: &Vec<i64>, ch: usize| DcimChannelTrace::run(lane_acts, &weights[ch], pa, pa).output;
+    match backend {
+        EvalBackend::Interpreter => {
+            // Each measurement pass is an independent vector sample from
+            // the quiesced state — the same condition an engine lane
+            // sees, so both backends produce bit-identical activity.
+            let results: Vec<Result<Activity, CoreError>> = passes
+                .iter()
+                .map(|acts| {
+                    let mut sim = Simulator::new(&mac.module, lib)?;
+                    setup_int(&mut sim, mac, pa, weights);
+                    run_pass_lanes(&mut sim, mac, pa, std::slice::from_ref(acts));
+                    let checked = check_channels(&sim, mac, pa, pa, std::slice::from_ref(acts), &golden)?;
+                    Ok(Activity {
+                        toggles: sim.toggle_table().to_vec(),
+                        lane_cycles: sim.lane_cycles(),
+                        checked,
+                    })
+                })
+                .collect();
+            merge_activities(mac, results)
+        }
+        EvalBackend::Engine => {
+            let prog = Program::compile(&mac.module, lib)?;
+            let chunks: Vec<&[Vec<i64>]> = passes.chunks(MAX_LANES).collect();
+            let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
+                let mut sim = BatchSim::new(&prog, &mac.module, chunk.len());
+                setup_int(&mut sim, mac, pa, weights);
+                run_pass_lanes(&mut sim, mac, pa, chunk);
+                let checked = check_channels(&sim, mac, pa, pa, chunk, &golden)?;
+                Ok(Activity { toggles: sim.toggle_table().to_vec(), lane_cycles: sim.lane_cycles(), checked })
+            });
+            merge_activities(mac, results)
+        }
+    }
+}
+
+fn merge_activities(
+    mac: &MacroNetlist,
+    results: Vec<Result<Activity, CoreError>>,
+) -> Result<Activity, CoreError> {
+    let mut acc = Activity { toggles: vec![0; mac.module.net_count()], lane_cycles: 0, checked: 0 };
+    for r in results {
+        acc = Activity::merge(acc, &r?);
+    }
+    Ok(acc)
+}
+
+/// Measure an FP MAC workload in the macro's configured FP format, on
+/// the default (engine) backend. FP activations go through the on-macro
+/// alignment unit; FP weights are pre-aligned (as the paper's flow
+/// stores them) and written as signed mantissas across
+/// `next_power_of_two(man+2)` columns.
 ///
 /// # Errors
 ///
@@ -112,6 +231,29 @@ pub fn measure_fp(
     op: OperatingPoint,
     f_mhz: f64,
 ) -> Result<MacMeasurement, CoreError> {
+    measure_fp_with(im, lib, passes, weights, op, f_mhz, EvalBackend::default())
+}
+
+/// [`measure_fp`] with an explicit backend choice.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if the hardware disagrees
+/// with the golden model.
+///
+/// # Panics
+///
+/// Panics if the macro was built without an FP precision.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_fp_with(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    passes: &[Vec<FpValue>],
+    weights: &[Vec<FpValue>],
+    op: OperatingPoint,
+    f_mhz: f64,
+    backend: EvalBackend,
+) -> Result<MacMeasurement, CoreError> {
     let mac = &im.mac;
     let fmt = mac.fp.expect("macro has no FP alignment unit");
     let pa = fmt.aligned_bits();
@@ -122,20 +264,17 @@ pub fn measure_fp(
     // Pre-align weights per channel (offline, like the paper's flow).
     let aligned_w: Vec<Vec<i64>> = weights.iter().map(|wv| fp_align(wv, fmt).0).collect();
 
-    let mut sim = Simulator::new(&mac.module, lib)?;
-    preload_weights(&mut sim, mac, pw, &aligned_w);
-    configure_precision(&mut sim, mac, pw);
-    quiesce(&mut sim, mac);
-    sim.reset_activity();
-
-    let mut checked = 0usize;
-    for acts in passes {
+    let run_chunk = |sim: &mut dyn SimBackend, chunk: &[Vec<FpValue>]| -> Result<Activity, CoreError> {
+        let golden = |lane_acts: &Vec<i64>, ch: usize| int_dot(lane_acts, &aligned_w[ch]);
+        let mut checked = 0usize;
         // Feed the FP operands through the alignment unit (one cycle to
         // its output register).
-        for (r, v) in acts.iter().enumerate() {
-            sim.set(&format!("fp_s{r}"), v.sign);
-            sim.set_bus(&format!("fp_e{r}"), fmt.exp_bits, v.exp_field as i64);
-            sim.set_bus(&format!("fp_m{r}"), fmt.man_bits, v.man_field as i64);
+        for (lane, acts) in chunk.iter().enumerate() {
+            for (r, v) in acts.iter().enumerate() {
+                sim.set_lane(&format!("fp_s{r}"), lane, v.sign);
+                sim.set_bus_lane(&format!("fp_e{r}"), fmt.exp_bits, lane, v.exp_field as i64);
+                sim.set_bus_lane(&format!("fp_m{r}"), fmt.man_bits, lane, v.man_field as i64);
+            }
         }
         sim.step();
         if mac.choice.align_pipelined {
@@ -143,30 +282,54 @@ pub fn measure_fp(
             sim.step();
             sim.step();
         }
-        let aligned_a: Vec<i64> = (0..mac.h).map(|r| sim.get_bus_signed(&format!("al{r}"), pa)).collect();
-        // The on-macro alignment must match the golden model bit-exactly.
-        let (golden_a, _emax) = fp_align(acts, fmt);
-        if aligned_a != golden_a {
-            return Err(CoreError::FunctionalMismatch {
-                channel: usize::MAX,
-                got: aligned_a[0],
-                want: golden_a[0],
-            });
+        let mut aligned_chunk: Vec<Vec<i64>> = Vec::with_capacity(chunk.len());
+        for (lane, acts) in chunk.iter().enumerate() {
+            let aligned_a: Vec<i64> =
+                (0..mac.h).map(|r| sim.get_bus_signed_lane(&format!("al{r}"), pa, lane)).collect();
+            // The on-macro alignment must match the golden model bit-exactly.
+            let (golden_a, _emax) = fp_align(acts, fmt);
+            if aligned_a != golden_a {
+                return Err(CoreError::FunctionalMismatch {
+                    channel: usize::MAX,
+                    got: aligned_a[0],
+                    want: golden_a[0],
+                });
+            }
+            aligned_chunk.push(aligned_a);
         }
         // Bit-serial MAC over the aligned mantissas.
-        run_pass(&mut sim, mac, pa, &aligned_a);
-        for (ch, wv) in aligned_w.iter().enumerate() {
-            let got = read_channel_at(&sim, mac, pa, pw, ch);
-            let want = int_dot(&aligned_a, wv);
-            if got != want {
-                return Err(CoreError::FunctionalMismatch { channel: ch, got, want });
-            }
-            checked += 1;
-        }
-    }
+        run_pass_lanes(sim, mac, pa, &aligned_chunk);
+        checked += check_channels(sim, mac, pa, pw, &aligned_chunk, &golden)?;
+        Ok(Activity { toggles: sim.toggle_table().to_vec(), lane_cycles: sim.lane_cycles(), checked })
+    };
 
-    let measurement = finish_measurement(im, lib, &sim, pa, pw, passes.len(), op, f_mhz);
-    Ok(MacMeasurement { checked_outputs: checked, ..measurement })
+    let activity = match backend {
+        EvalBackend::Interpreter => {
+            // Independent reference pass per vector (see int_activity).
+            let results: Vec<Result<Activity, CoreError>> = passes
+                .iter()
+                .map(|acts| {
+                    let mut sim = Simulator::new(&mac.module, lib)?;
+                    setup_fp(&mut sim, mac, pw, &aligned_w);
+                    run_chunk(&mut sim, std::slice::from_ref(acts))
+                })
+                .collect();
+            merge_activities(mac, results)?
+        }
+        EvalBackend::Engine => {
+            let prog = Program::compile(&mac.module, lib)?;
+            let chunks: Vec<&[Vec<FpValue>]> = passes.chunks(MAX_LANES).collect();
+            let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
+                let mut sim = BatchSim::new(&prog, &mac.module, chunk.len());
+                setup_fp(&mut sim, mac, pw, &aligned_w);
+                run_chunk(&mut sim, chunk)
+            });
+            merge_activities(mac, results)?
+        }
+    };
+
+    let measurement = finish_measurement(im, lib, &activity, pa, pw, op, f_mhz);
+    Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
 }
 
 /// Result of a weight-update measurement.
@@ -180,12 +343,12 @@ pub struct WeightUpdateMeasurement {
     pub bits_written: usize,
 }
 
-/// Measure the weight-update path: stream random weights into every
-/// (bank, row) through the real write port (BL drivers + address
-/// decoder + bitcell capture) and account the switching energy — the
-/// dimension-dependent driver cost the paper attributes to WL/BL
-/// drivers, and the per-bitcell write cost that differentiates the cell
-/// variants.
+/// Measure the weight-update path on the default (engine) backend:
+/// stream random weights into every (bank, row) through the real write
+/// port (BL drivers + address decoder + bitcell capture) and account the
+/// switching energy — the dimension-dependent driver cost the paper
+/// attributes to WL/BL drivers, and the per-bitcell write cost that
+/// differentiates the cell variants.
 ///
 /// # Errors
 ///
@@ -198,47 +361,42 @@ pub fn measure_weight_update(
     f_mhz: f64,
     seed: u64,
 ) -> Result<WeightUpdateMeasurement, CoreError> {
-    use rand_like::next_bit;
+    measure_weight_update_with(im, lib, op, f_mhz, seed, EvalBackend::default())
+}
+
+/// [`measure_weight_update`] with an explicit backend choice. The write
+/// stream is one sequential address sequence, so both backends run a
+/// single lane; the engine still wins by replacing interpretation with
+/// the compiled op stream.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if any bitcell fails to
+/// capture its written value.
+pub fn measure_weight_update_with(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    op: OperatingPoint,
+    f_mhz: f64,
+    seed: u64,
+    backend: EvalBackend,
+) -> Result<WeightUpdateMeasurement, CoreError> {
     let mac = &im.mac;
-    let mut sim = Simulator::new(&mac.module, lib)?;
-    configure_precision(&mut sim, mac, mac.w_bits);
-    quiesce(&mut sim, mac);
-    sim.reset_activity();
-
-    let mut state = seed | 1;
-    let mut expect: Vec<Vec<Vec<bool>>> = vec![vec![vec![false; mac.w]; mac.h]; mac.mcr];
-    for bank in 0..mac.mcr {
-        for row in 0..mac.h {
-            sim.set("wr_en", true);
-            sim.set_bus("wr_row", mac.h.trailing_zeros(), row as i64);
-            if mac.mcr > 1 {
-                sim.set_bus("wr_bank", mac.mcr.trailing_zeros(), bank as i64);
-            }
-            for c in 0..mac.w {
-                let bit = next_bit(&mut state);
-                expect[bank][row][c] = bit;
-                sim.set(&format!("wbl[{c}]"), bit);
-            }
-            sim.step();
+    let activity = match backend {
+        EvalBackend::Interpreter => {
+            let mut sim = Simulator::new(&mac.module, lib)?;
+            run_weight_update(&mut sim, mac, seed)?
         }
-    }
-    sim.set("wr_en", false);
-    let cycles = sim.cycles();
-
-    // Verify every bitcell captured its bit.
-    for bc in &mac.bitcells {
-        let want = expect[bc.bank][bc.row][bc.col];
-        if sim.state_of(bc.inst) != want {
-            return Err(CoreError::FunctionalMismatch {
-                channel: bc.col,
-                got: sim.state_of(bc.inst) as i64,
-                want: want as i64,
-            });
+        EvalBackend::Engine => {
+            let prog = Program::compile(&mac.module, lib)?;
+            let mut sim = BatchSim::new(&prog, &mac.module, 1);
+            run_weight_update(&mut sim, mac, seed)?
         }
-    }
+    };
 
     let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)?;
-    let power = analyzer.from_activity(sim.toggle_table(), cycles, f_mhz, op);
+    let cycles = activity.lane_cycles;
+    let power = analyzer.from_activity(&activity.toggles, cycles, f_mhz, op);
     let bits = mac.w * mac.h * mac.mcr;
     let total_energy_fj = power.energy_per_cycle_pj * 1000.0 * cycles as f64;
     Ok(WeightUpdateMeasurement {
@@ -246,6 +404,50 @@ pub fn measure_weight_update(
         bandwidth_gbps: mac.w as f64 * f_mhz * 1e6 / 1e9,
         bits_written: bits,
     })
+}
+
+fn run_weight_update<B: SimBackend>(
+    sim: &mut B,
+    mac: &MacroNetlist,
+    seed: u64,
+) -> Result<Activity, CoreError> {
+    use rand_like::next_bit;
+    configure_precision(sim, mac, mac.w_bits);
+    quiesce(sim, mac);
+    sim.reset_activity();
+
+    let wbl_nets: Vec<NetId> = (0..mac.w).map(|c| sim.net_of(&format!("wbl[{c}]"))).collect();
+    let mut state = seed | 1;
+    let mut expect: Vec<Vec<Vec<bool>>> = vec![vec![vec![false; mac.w]; mac.h]; mac.mcr];
+    for (bank, expect_bank) in expect.iter_mut().enumerate() {
+        for (row, expect_row) in expect_bank.iter_mut().enumerate() {
+            sim.set_all("wr_en", true);
+            sim.set_bus_all("wr_row", mac.h.trailing_zeros(), row as i64);
+            if mac.mcr > 1 {
+                sim.set_bus_all("wr_bank", mac.mcr.trailing_zeros(), bank as i64);
+            }
+            for (&net, e) in wbl_nets.iter().zip(expect_row.iter_mut()) {
+                let bit = next_bit(&mut state);
+                *e = bit;
+                sim.poke_word(net, if bit { !0 } else { 0 });
+            }
+            sim.step();
+        }
+    }
+    sim.set_all("wr_en", false);
+
+    // Verify every bitcell captured its bit.
+    for bc in &mac.bitcells {
+        let want = expect[bc.bank][bc.row][bc.col];
+        if sim.state_of_lane(bc.inst, 0) != want {
+            return Err(CoreError::FunctionalMismatch {
+                channel: bc.col,
+                got: sim.state_of_lane(bc.inst, 0) as i64,
+                want: want as i64,
+            });
+        }
+    }
+    Ok(Activity { toggles: sim.toggle_table().to_vec(), lane_cycles: sim.lane_cycles(), checked: 0 })
 }
 
 /// Tiny xorshift bit source (keeps `rand` out of the library API).
@@ -258,7 +460,25 @@ mod rand_like {
     }
 }
 
-fn preload_weights(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pw: u32, weights: &[Vec<i64>]) {
+// ----------------------------------------------------------------------
+// Backend-generic workload drivers.
+// ----------------------------------------------------------------------
+
+fn setup_int<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pa: u32, weights: &[Vec<i64>]) {
+    preload_weights(sim, mac, pa, weights);
+    configure_precision(sim, mac, pa);
+    quiesce(sim, mac);
+    sim.reset_activity();
+}
+
+fn setup_fp<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32, aligned_w: &[Vec<i64>]) {
+    preload_weights(sim, mac, pw, aligned_w);
+    configure_precision(sim, mac, pw);
+    quiesce(sim, mac);
+    sim.reset_activity();
+}
+
+fn preload_weights<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32, weights: &[Vec<i64>]) {
     for bc in &mac.bitcells {
         if bc.bank != 0 {
             continue;
@@ -267,85 +487,124 @@ fn preload_weights(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist,
         let j = (bc.col % pw as usize) as u32;
         if ch < weights.len() {
             let bit = twos_complement_bit(weights[ch][bc.row], pw, j);
-            sim.force_state(bc.inst, bit);
+            sim.force_state_all(bc.inst, bit);
         }
     }
 }
 
-fn configure_precision(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pw: u32) {
+fn configure_precision<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32) {
     let level = pw.trailing_zeros() as usize;
     for k in 0..=(mac.w_bits.trailing_zeros() as usize) {
-        sim.set(&format!("prec[{k}]"), k == level);
+        sim.set_all(&format!("prec[{k}]"), k == level);
     }
     // Bank 0 selected; write interface idle.
     for k in 0..mac.mcr.trailing_zeros() as usize {
-        sim.set(&format!("bank_sel[{k}]"), false);
+        sim.set_all(&format!("bank_sel[{k}]"), false);
     }
-    sim.set("wr_en", false);
+    sim.set_all("wr_en", false);
 }
 
-fn quiesce(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist) {
+fn quiesce<B: SimBackend>(sim: &mut B, mac: &MacroNetlist) {
     for r in 0..mac.h {
-        sim.set(&format!("act[{r}]"), false);
+        sim.set_all(&format!("act[{r}]"), false);
     }
-    sim.set("neg", false);
-    sim.set("clear", false);
+    sim.set_all("neg", false);
+    sim.set_all("clear", false);
     sim.step();
     sim.step();
 }
 
-/// Drive one bit-serial pass of `pa`-bit activations and leave the
+/// Drive one bit-serial pass of `pa`-bit activations in every lane
+/// simultaneously (lane `l` computes `lanes_acts[l]`), leaving the
 /// accumulators holding the completed pass.
-fn run_pass(sim: &mut Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, acts: &[i64]) {
+fn run_pass_lanes(
+    sim: &mut (impl SimBackend + ?Sized),
+    mac: &MacroNetlist,
+    pa: u32,
+    lanes_acts: &[Vec<i64>],
+) {
+    assert!(lanes_acts.len() <= sim.lanes(), "more passes than active lanes");
     let depth = mac.mac_pipeline_depth as u32;
-    let schedule = bit_serial_schedule(acts, pa);
+    // schedules[lane][cycle][row]
+    let schedules: Vec<Vec<Vec<bool>>> =
+        lanes_acts.iter().map(|acts| bit_serial_schedule(acts, pa)).collect();
+    let act_nets: Vec<NetId> = (0..mac.h).map(|r| sim.net_of(&format!("act[{r}]"))).collect();
+    let clear_net = sim.net_of("clear");
+    let neg_net = sim.net_of("neg");
     let total = pa + depth + u32::from(mac.choice.ofu_extra_pipe);
     for cycle in 0..total {
         // Activation bits enter on cycles 0..pa.
-        for (r, _) in acts.iter().enumerate() {
-            let bit = if cycle < pa { schedule[cycle as usize][r] } else { false };
-            sim.set(&format!("act[{r}]"), bit);
+        for (r, &net) in act_nets.iter().enumerate() {
+            let mut word = 0u64;
+            if cycle < pa {
+                for (l, sched) in schedules.iter().enumerate() {
+                    word |= (sched[cycle as usize][r] as u64) << l;
+                }
+            }
+            sim.poke_word(net, word);
         }
         // S&A controls are aligned to the psum arrival (delayed by the
         // pipeline registers between tree and accumulator).
-        sim.set("clear", cycle == depth);
-        sim.set("neg", cycle == pa - 1 + depth);
+        sim.poke_word(clear_net, if cycle == depth { !0 } else { 0 });
+        sim.poke_word(neg_net, if cycle == pa - 1 + depth { !0 } else { 0 });
         sim.step();
     }
-    sim.set("neg", false);
+    sim.poke_word(neg_net, 0);
 }
 
-fn read_channel(sim: &Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, ch: usize) -> i64 {
-    read_channel_at(sim, mac, pa, pa, ch)
+/// Golden-check every channel of every lane after a completed pass.
+/// `golden(lane_acts, ch)` supplies the expected channel value.
+fn check_channels(
+    sim: &(impl SimBackend + ?Sized),
+    mac: &MacroNetlist,
+    pa: u32,
+    pw: u32,
+    lanes_acts: &[Vec<i64>],
+    golden: &impl Fn(&Vec<i64>, usize) -> i64,
+) -> Result<usize, CoreError> {
+    let channels = mac.w / pw as usize;
+    let mut checked = 0usize;
+    for (lane, acts) in lanes_acts.iter().enumerate() {
+        for ch in 0..channels {
+            let got = read_channel_lane(sim, mac, pa, pw, ch, lane);
+            let want = golden(acts, ch);
+            if got != want {
+                return Err(CoreError::FunctionalMismatch { channel: ch, got, want });
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
 }
 
-/// Read channel `ch` fused over `pw` columns after a `pa`-bit pass. The
-/// S&A places results at a fixed offset for the macro's full serial
-/// width, so shorter passes come out scaled by `2^(n−pa)`.
-fn read_channel_at(sim: &Simulator<'_>, mac: &crate::assemble::MacroNetlist, pa: u32, pw: u32, ch: usize) -> i64 {
+/// Read channel `ch` fused over `pw` columns after a `pa`-bit pass, in
+/// one lane. The S&A places results at a fixed offset for the macro's
+/// full serial width, so shorter passes come out scaled by `2^(n−pa)`.
+fn read_channel_lane(
+    sim: &(impl SimBackend + ?Sized),
+    mac: &MacroNetlist,
+    pa: u32,
+    pw: u32,
+    ch: usize,
+    lane: usize,
+) -> i64 {
     let level = pw.trailing_zeros() as usize;
     let per_group = (mac.w_bits / pw) as usize;
     let g = ch / per_group;
     let i = ch % per_group;
     let width = mac.output_width(level) as u32;
-    let raw = sim.get_bus_signed(&mac.output_port(g, level, i), width);
+    let raw = sim.get_bus_signed_lane(&mac.output_port(g, level, i), width, lane);
     let scale_shift = mac.act_bits - pa;
-    debug_assert_eq!(
-        raw & ((1 << scale_shift) - 1),
-        0,
-        "low bits below the serial offset must be zero"
-    );
+    debug_assert_eq!(raw & ((1 << scale_shift) - 1), 0, "low bits below the serial offset must be zero");
     raw >> scale_shift
 }
 
-#[allow(clippy::too_many_arguments)]
 fn finish_measurement(
     im: &ImplementedMacro,
     lib: &CellLibrary,
-    sim: &Simulator<'_>,
+    activity: &Activity,
     pa: u32,
     pw: u32,
-    passes: usize,
     op: OperatingPoint,
     f_mhz: f64,
 ) -> MacMeasurement {
@@ -354,7 +613,7 @@ fn finish_measurement(
     let pw_prec = Precision::Int(pw);
     let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)
         .expect("implemented macros are well-formed");
-    let power = analyzer.from_activity(sim.toggle_table(), sim.cycles().max(1), f_mhz, op);
+    let power = analyzer.from_activity(&activity.toggles, activity.lane_cycles.max(1), f_mhz, op);
 
     let tput = MacThroughput { h: mac.h, w: mac.w, act: pa_prec, weight: pw_prec };
     let tops = tput.tops(f_mhz);
@@ -362,7 +621,6 @@ fn finish_measurement(
     let total_uw = power.total_uw();
     let macs_per_sec = tput.macs_per_pass() / tput.cycles_per_pass() * f_mhz * 1e6;
     let energy_per_mac_fj = total_uw * 1e-6 / macs_per_sec * 1e15;
-    let _ = passes;
     MacMeasurement {
         checked_outputs: 0,
         power,
@@ -434,6 +692,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_and_interpreter_backends_agree() {
+        let lib = CellLibrary::syn40();
+        let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
+        let mut rng = seeded_rng(23);
+        let weights: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let passes: Vec<Vec<i64>> = (0..5).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let op = OperatingPoint::at_voltage(0.9);
+
+        // Both backends run each pass as an independent vector sample
+        // from the quiesced state → bit-identical activity.
+        let eng = int_activity(&im.mac, &lib, 4, &passes, &weights, EvalBackend::Engine).unwrap();
+        let itp = int_activity(&im.mac, &lib, 4, &passes, &weights, EvalBackend::Interpreter).unwrap();
+        assert_eq!(eng.checked, itp.checked);
+        assert_eq!(eng.lane_cycles, itp.lane_cycles);
+        assert_eq!(eng.toggles, itp.toggles, "per-net toggle counts must be bit-identical");
+
+        // And the derived measurements therefore agree exactly.
+        let m_eng =
+            measure_int_with(&im, &lib, 4, &passes, &weights, op, 400.0, EvalBackend::Engine).unwrap();
+        let m_itp =
+            measure_int_with(&im, &lib, 4, &passes, &weights, op, 400.0, EvalBackend::Interpreter).unwrap();
+        assert_eq!(m_eng.checked_outputs, m_itp.checked_outputs);
+        assert_eq!(m_eng.power.dynamic_uw, m_itp.power.dynamic_uw);
+        assert_eq!(m_eng.energy_per_mac_fj, m_itp.energy_per_mac_fj);
+    }
+
+    #[test]
     fn sparsity_reduces_power() {
         let lib = CellLibrary::syn40();
         let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
@@ -469,6 +754,18 @@ mod tests {
             (0..3).map(|_| syndcim_sim::vectors::random_fp(&mut rng, 8, FpFormat::FP4)).collect();
         let m = measure_fp(&im, &lib, &passes, &weights, OperatingPoint::at_voltage(0.9), 400.0).unwrap();
         assert_eq!(m.checked_outputs, channels * 3);
+        // Both backends pass the same golden checks.
+        let m2 = measure_fp_with(
+            &im,
+            &lib,
+            &passes,
+            &weights,
+            OperatingPoint::at_voltage(0.9),
+            400.0,
+            EvalBackend::Interpreter,
+        )
+        .unwrap();
+        assert_eq!(m2.checked_outputs, m.checked_outputs);
     }
 
     #[test]
@@ -478,7 +775,8 @@ mod tests {
         let op = OperatingPoint::at_voltage(0.9);
         let mut per_cell = Vec::new();
         for bitcell in [BitcellKind::Sram6T2T, BitcellKind::Latch8T] {
-            let im = implement(&lib, &spec_int(), &DesignChoice { bitcell, ..DesignChoice::default() }).unwrap();
+            let im =
+                implement(&lib, &spec_int(), &DesignChoice { bitcell, ..DesignChoice::default() }).unwrap();
             let m = measure_weight_update(&im, &lib, op, 400.0, 99).unwrap();
             assert_eq!(m.bits_written, 8 * 8 * 2);
             assert!(m.energy_per_bit_fj > 0.0);
@@ -486,5 +784,19 @@ mod tests {
         }
         // The 8T latch writes cost more energy than the 6T+2T cell.
         assert!(per_cell[1] > per_cell[0] * 0.9, "{per_cell:?}");
+    }
+
+    #[test]
+    fn weight_update_backends_are_bit_identical() {
+        let lib = CellLibrary::syn40();
+        let op = OperatingPoint::at_voltage(0.9);
+        let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
+        let eng = measure_weight_update_with(&im, &lib, op, 400.0, 1234, EvalBackend::Engine).unwrap();
+        let itp = measure_weight_update_with(&im, &lib, op, 400.0, 1234, EvalBackend::Interpreter).unwrap();
+        // One sequential lane each: identical stimulus → identical toggles
+        // → identical energy.
+        assert_eq!(eng.bits_written, itp.bits_written);
+        assert!((eng.energy_per_bit_fj - itp.energy_per_bit_fj).abs() < 1e-12, "{eng:?} vs {itp:?}");
+        assert_eq!(eng.bandwidth_gbps, itp.bandwidth_gbps);
     }
 }

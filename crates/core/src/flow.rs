@@ -37,17 +37,19 @@ impl ImplementedMacro {
 
     /// Post-layout maximum frequency in MHz at an operating point.
     pub fn fmax_mhz(&self, lib: &CellLibrary, op: OperatingPoint) -> f64 {
-        let sta = Sta::new(&self.mac.module, lib)
-            .expect("implemented macros are well-formed")
-            .with_wire_loads(WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() });
+        let sta =
+            Sta::new(&self.mac.module, lib).expect("implemented macros are well-formed").with_wire_loads(
+                WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() },
+            );
         sta.fmax_mhz(op)
     }
 
     /// Post-layout timing report at an arbitrary period/corner.
     pub fn timing_at(&self, lib: &CellLibrary, period_ps: f64, op: OperatingPoint) -> TimingReport {
-        let sta = Sta::new(&self.mac.module, lib)
-            .expect("implemented macros are well-formed")
-            .with_wire_loads(WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() });
+        let sta =
+            Sta::new(&self.mac.module, lib).expect("implemented macros are well-formed").with_wire_loads(
+                WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() },
+            );
         sta.analyze_at(period_ps, op)
     }
 }
@@ -58,7 +60,11 @@ impl ImplementedMacro {
 ///
 /// Returns [`CoreError`] if the spec is invalid, the netlist fails
 /// validation, or the layout violates design rules.
-pub fn implement(lib: &CellLibrary, spec: &MacroSpec, choice: &DesignChoice) -> Result<ImplementedMacro, CoreError> {
+pub fn implement(
+    lib: &CellLibrary,
+    spec: &MacroSpec,
+    choice: &DesignChoice,
+) -> Result<ImplementedMacro, CoreError> {
     spec.validate()?;
     let mut mac = assemble(lib, spec, choice);
 

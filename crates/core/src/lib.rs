@@ -50,9 +50,12 @@ pub use assemble::{assemble, MacroNetlist};
 pub use baseline::BaselineKind;
 pub use design::{DesignChoice, DesignPoint, PpaEstimate};
 pub use error::CoreError;
-pub use eval::{measure_fp, measure_int, measure_weight_update, MacMeasurement, WeightUpdateMeasurement};
+pub use eval::{
+    measure_fp, measure_fp_with, measure_int, measure_int_with, measure_weight_update,
+    measure_weight_update_with, EvalBackend, MacMeasurement, WeightUpdateMeasurement,
+};
 pub use flow::{implement, ImplementedMacro};
 pub use pareto::pareto_frontier;
 pub use search::{search, SearchResult};
-pub use shmoo::{shmoo, Shmoo};
+pub use shmoo::{shmoo, shmoo_with_power, PowerShmoo, Shmoo};
 pub use spec::{MacroSpec, PpaWeights, SpecError};

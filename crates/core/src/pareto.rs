@@ -10,7 +10,8 @@ use crate::design::DesignPoint;
 fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
     let ae = &a.est;
     let be = &b.est;
-    let le = ae.power_uw <= be.power_uw && ae.area_um2 <= be.area_um2 && ae.latency_cycles <= be.latency_cycles;
+    let le =
+        ae.power_uw <= be.power_uw && ae.area_um2 <= be.area_um2 && ae.latency_cycles <= be.latency_cycles;
     let lt = ae.power_uw < be.power_uw || ae.area_um2 < be.area_um2 || ae.latency_cycles < be.latency_cycles;
     le && lt
 }

@@ -104,12 +104,8 @@ pub fn search(spec: &MacroSpec, scl: &mut Scl) -> SearchResult {
             ladder.push(AdderTreeKind::RcaTree); // baseline stays searchable
             let mut found_for_site = false;
             for kind in AdderTreeKind::speed_ladder(MAX_FA_ROUNDS) {
-                let mut choice = DesignChoice {
-                    bitcell,
-                    multmux,
-                    tree_kind: kind,
-                    ..DesignChoice::default()
-                };
+                let mut choice =
+                    DesignChoice { bitcell, multmux, tree_kind: kind, ..DesignChoice::default() };
 
                 // --- MAC-path loop: retime, then split ---------------
                 let mut stages = estimate(spec, scl, &choice);
@@ -230,9 +226,7 @@ pub fn estimate(spec: &MacroSpec, scl: &mut Scl, choice: &DesignChoice) -> Stage
         (front + sa.delay_ps * WIRE_DERATE + REG_MARGIN_PS, 0.0)
     };
     let ofu_ps = ofu.delay_ps * WIRE_DERATE + REG_MARGIN_PS;
-    let write_ps = scl.driver(h * spec.mcr).delay_ps
-        + bitcell_setup_ps(scl, choice.bitcell)
-        + 60.0; // decoder margin
+    let write_ps = scl.driver(h * spec.mcr).delay_ps + bitcell_setup_ps(scl, choice.bitcell) + 60.0; // decoder margin
     let align_ps = match spec.widest_fp() {
         Some(fmt) => scl.align(h.min(16), fmt, choice.align_pipelined).delay_ps * WIRE_DERATE + REG_MARGIN_PS,
         None => 0.0,
@@ -276,7 +270,8 @@ fn point(spec: &MacroSpec, scl: &mut Scl, choice: &DesignChoice, stages: &StageD
     let driver = scl.driver(w);
     let groups = (w / w_bits) as f64;
 
-    let mut area = w as f64 * (column.area_um2 * col_scale + tree.area_um2 * choice.column_split as f64 + sa.area_um2)
+    let mut area = w as f64
+        * (column.area_um2 * col_scale + tree.area_um2 * choice.column_split as f64 + sa.area_um2)
         + groups * ofu.area_um2
         + (h + w) as f64 * driver.area_um2 / 8.0;
     let mut energy_fj = w as f64
@@ -354,10 +349,7 @@ mod tests {
         let relaxed = search(&small_spec(200.0), &mut scl);
         let tight = search(&small_spec(1150.0), &mut scl);
         let moves = |r: &SearchResult| {
-            r.feasible
-                .iter()
-                .filter(|p| p.choice.tree_retimed || p.choice.column_split > 1)
-                .count()
+            r.feasible.iter().filter(|p| p.choice.tree_retimed || p.choice.column_split > 1).count()
         };
         assert!(
             moves(&tight) > moves(&relaxed),

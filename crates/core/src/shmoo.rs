@@ -7,7 +7,10 @@
 //! alpha-power-scaled STA standing in for silicon.
 
 use syndcim_pdk::{CellLibrary, OperatingPoint};
+use syndcim_power::PowerAnalyzer;
 
+use crate::error::CoreError;
+use crate::eval::{int_activity, EvalBackend};
 use crate::flow::ImplementedMacro;
 
 /// Minimum supply for reliable bitcell operation (read/write margin),
@@ -29,12 +32,7 @@ pub struct Shmoo {
 impl Shmoo {
     /// Maximum passing frequency at a voltage, if any.
     pub fn fmax_at(&self, vi: usize) -> Option<f64> {
-        self.pass[vi]
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, &p)| p)
-            .map(|(fi, _)| self.freqs_mhz[fi])
+        self.pass[vi].iter().enumerate().rev().find(|(_, &p)| p).map(|(fi, _)| self.freqs_mhz[fi])
     }
 
     /// Render the classic shmoo plot (rows = voltage descending,
@@ -73,6 +71,67 @@ pub fn shmoo(im: &ImplementedMacro, lib: &CellLibrary, voltages: &[f64], freqs_m
         pass.push(row);
     }
     Shmoo { voltages: voltages.to_vec(), freqs_mhz: freqs_mhz.to_vec(), pass }
+}
+
+/// A shmoo grid annotated with measured power at every passing point.
+#[derive(Debug, Clone)]
+pub struct PowerShmoo {
+    /// The pass/fail grid.
+    pub shmoo: Shmoo,
+    /// `power_uw[vi][fi]` — total power in µW at each *passing* point
+    /// (`None` where the macro fails), from engine-measured switching
+    /// activity rescaled across the (V, f) grid.
+    pub power_uw: Vec<Vec<Option<f64>>>,
+}
+
+/// Sweep the shmoo grid and annotate every passing point with the total
+/// power the given INT workload would draw there.
+///
+/// Switching activity is voltage- and frequency-independent, so the
+/// workload is simulated **once** on the compiled bit-parallel engine
+/// (all passes as parallel lanes) and the toggle counts are rescaled
+/// analytically across the grid — one simulation instead of one per
+/// grid point.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if the workload fails its
+/// golden-model check.
+pub fn shmoo_with_power(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    voltages: &[f64],
+    freqs_mhz: &[f64],
+    pa: u32,
+    passes: &[Vec<i64>],
+    weights: &[Vec<i64>],
+) -> Result<PowerShmoo, CoreError> {
+    let grid = shmoo(im, lib, voltages, freqs_mhz);
+    let activity = int_activity(&im.mac, lib, pa, passes, weights, EvalBackend::Engine)?;
+    let analyzer = PowerAnalyzer::with_wire_caps(&im.mac.module, lib, &im.wires.cap_ff)?;
+    let power_uw = grid
+        .pass
+        .iter()
+        .enumerate()
+        .map(|(vi, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(fi, &ok)| {
+                    ok.then(|| {
+                        analyzer
+                            .from_activity(
+                                &activity.toggles,
+                                activity.lane_cycles.max(1),
+                                grid.freqs_mhz[fi],
+                                OperatingPoint::at_voltage(grid.voltages[vi]),
+                            )
+                            .total_uw()
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    Ok(PowerShmoo { shmoo: grid, power_uw })
 }
 
 #[cfg(test)]
@@ -124,6 +183,31 @@ mod tests {
             assert!(f >= prev);
             prev = f;
         }
+    }
+
+    #[test]
+    fn power_shmoo_annotates_passing_points() {
+        use syndcim_sim::vectors::{random_ints, seeded_rng};
+        let (im, lib) = implemented();
+        let mut rng = seeded_rng(31);
+        let weights: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let passes: Vec<Vec<i64>> = (0..3).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let vs = [0.5, 0.9, 1.2];
+        let fs = [100.0, 400.0];
+        let ps = shmoo_with_power(&im, &lib, &vs, &fs, 4, &passes, &weights).unwrap();
+        for (vi, row) in ps.shmoo.pass.iter().enumerate() {
+            for (fi, &ok) in row.iter().enumerate() {
+                assert_eq!(ps.power_uw[vi][fi].is_some(), ok, "power iff passing (v={vi}, f={fi})");
+                if let Some(p) = ps.power_uw[vi][fi] {
+                    assert!(p > 0.0);
+                }
+            }
+        }
+        // Power grows with both frequency and voltage on the passing set.
+        let p_low = ps.power_uw[1][0].unwrap();
+        let p_high_f = ps.power_uw[1][1].unwrap();
+        let p_high_v = ps.power_uw[2][0].unwrap();
+        assert!(p_high_f > p_low && p_high_v > p_low);
     }
 
     #[test]

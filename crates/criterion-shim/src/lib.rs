@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the [`Criterion`] / [`Bencher`] API surface plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros so `[[bench]]`
+//! targets written against real criterion compile and run without
+//! crates.io access. Measurement is a simple calibrated-batch wall-clock
+//! mean (median of batch means) — adequate for the throughput-ratio
+//! comparisons this workspace reports, without criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: times closures registered via
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure_time: Duration,
+    /// Number of batches the measurement is split into.
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_time: Duration::from_millis(800), batches: 10 }
+    }
+}
+
+/// Result of one benchmark: mean wall-clock time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Median of per-batch mean iteration times, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_time = t;
+        self
+    }
+
+    /// Run one named benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_stats(name, f);
+        self
+    }
+
+    /// Run one named benchmark and also return its stats (shim extension
+    /// used by benches that report derived ratios).
+    pub fn bench_stats<F>(&mut self, name: &str, mut f: F) -> BenchStats
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Calibration: find an iteration count filling one batch budget.
+        let batch_budget = self.measure_time / self.batches;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= batch_budget / 8 || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                64
+            } else {
+                (batch_budget.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 64) as u64
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+        // Measurement batches.
+        let mut means = Vec::with_capacity(self.batches as usize);
+        let mut total_iters = 0u64;
+        for _ in 0..self.batches {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            means.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            total_iters += b.iters;
+        }
+        means.sort_by(|a, c| a.partial_cmp(c).expect("bench times are finite"));
+        let stats = BenchStats { ns_per_iter: means[means.len() / 2], iters: total_iters };
+        println!("{name:<44} {:>14} /iter   ({} iters)", format_ns(stats.ns_per_iter), stats.iters);
+        stats
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times and record the elapsed wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one callable, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let stats = c.bench_stats("noop", |b| b.iter(|| 1 + 1));
+        assert!(stats.iters > 0);
+        assert!(stats.ns_per_iter.is_finite());
+    }
+}

@@ -1,0 +1,225 @@
+//! Bit-parallel execution of a compiled [`Program`].
+//!
+//! [`BatchSim`] evaluates up to 64 independent test vectors ("lanes")
+//! simultaneously: every slot holds one `u64` whose bit `l` is the logic
+//! value in lane `l`. A settle is one linear pass over the op stream —
+//! no hash maps, no per-cell dispatch through `Vec<bool>` buffers — and
+//! per-net toggles accumulate as `popcount((prev ^ next) & lane_mask)`,
+//! which makes an L-lane run report exactly the toggle totals of L
+//! separate interpreter runs over the same per-lane stimulus.
+
+use syndcim_netlist::{InstId, Module, NetId};
+use syndcim_pdk::SeqUpdate;
+use syndcim_sim::SimBackend;
+
+use crate::program::{Op, Program};
+
+/// Word-level batch executor over one compiled program.
+#[derive(Debug)]
+pub struct BatchSim<'a> {
+    prog: &'a Program,
+    module: &'a Module,
+    /// Value word per slot (net slots first, then scratch).
+    slots: Vec<u64>,
+    /// Stored state word per sequential element (dense commit order).
+    state: Vec<u64>,
+    /// Capture buffer reused every step.
+    next: Vec<u64>,
+    /// Per-net toggle counts summed over active lanes.
+    toggles: Vec<u64>,
+    lanes: usize,
+    mask: u64,
+    lane_cycles: u64,
+}
+
+fn lane_mask(lanes: usize) -> u64 {
+    assert!((1..=64).contains(&lanes), "lane count {lanes} outside 1..=64");
+    if lanes == 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+impl<'a> BatchSim<'a> {
+    /// Create an executor with `lanes` active lanes (1..=64). All nets
+    /// and states start at logic 0 in every lane, matching a freshly
+    /// constructed interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is outside `1..=64`, or if `module`'s net or
+    /// instance counts disagree with the program (a shape check — the
+    /// caller is responsible for pairing a program with the exact
+    /// module it was compiled from).
+    pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
+        assert_eq!(prog.net_count, module.net_count(), "program/module net-count mismatch");
+        assert_eq!(prog.seq_of_inst.len(), module.instance_count(), "program/module instance-count mismatch");
+        BatchSim {
+            prog,
+            module,
+            slots: vec![0; prog.slot_count],
+            state: vec![0; prog.commits.len()],
+            next: vec![0; prog.commits.len()],
+            toggles: vec![0; prog.net_count],
+            lanes,
+            mask: lane_mask(lanes),
+            lane_cycles: 0,
+        }
+    }
+
+    /// The compiled program backing this executor.
+    pub fn program(&self) -> &Program {
+        self.prog
+    }
+
+    /// Shrink the active lane set (values in deactivated lanes keep
+    /// evaluating but stop contributing toggles). Growing is not
+    /// supported: a deactivated lane's uncounted transitions would
+    /// corrupt the "toggles == sum of L independent runs" invariant if
+    /// it were re-activated — create a new executor instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or larger than the current lane count.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        assert!(
+            lanes <= self.lanes,
+            "lane set can only shrink (have {}, asked {lanes}); create a new BatchSim to grow",
+            self.lanes
+        );
+        self.lanes = lanes;
+        self.mask = lane_mask(lanes);
+    }
+
+    #[inline]
+    fn write(&mut self, dst: u32, val: u64) {
+        let d = dst as usize;
+        if d < self.prog.net_count {
+            let old = self.slots[d];
+            self.toggles[d] += ((old ^ val) & self.mask).count_ones() as u64;
+        }
+        self.slots[d] = val;
+    }
+
+    /// Drive one lane of a net, leaving the others unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not an active lane.
+    pub fn poke_lane(&mut self, net: NetId, lane: usize, value: bool) {
+        assert!(lane < self.lanes, "lane {lane} out of range (executor has {} lanes)", self.lanes);
+        let bit = 1u64 << lane;
+        let old = self.slots[net.index()];
+        let word = if value { old | bit } else { old & !bit };
+        SimBackend::poke_word(self, net, word);
+    }
+}
+
+impl SimBackend for BatchSim<'_> {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn module(&self) -> &Module {
+        self.module
+    }
+
+    fn poke_word(&mut self, net: NetId, word: u64) {
+        self.write(net.index() as u32, word);
+    }
+
+    fn peek_word(&self, net: NetId) -> u64 {
+        self.slots[net.index()]
+    }
+
+    fn settle(&mut self) {
+        // One linear pass over the levelized op stream.
+        for k in 0..self.prog.ops.len() {
+            let op = self.prog.ops[k];
+            let val = match op {
+                Op::Const { ones, .. } => {
+                    if ones {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+                Op::Copy { a, .. } => self.slots[a as usize],
+                Op::Not { a, .. } => !self.slots[a as usize],
+                Op::And { a, b, .. } => self.slots[a as usize] & self.slots[b as usize],
+                Op::Or { a, b, .. } => self.slots[a as usize] | self.slots[b as usize],
+                Op::Xor { a, b, .. } => self.slots[a as usize] ^ self.slots[b as usize],
+                Op::Mux { d0, d1, s, .. } => {
+                    let sel = self.slots[s as usize];
+                    (sel & self.slots[d1 as usize]) | (!sel & self.slots[d0 as usize])
+                }
+            };
+            let dst = match op {
+                Op::Const { dst, .. }
+                | Op::Copy { dst, .. }
+                | Op::Not { dst, .. }
+                | Op::And { dst, .. }
+                | Op::Or { dst, .. }
+                | Op::Xor { dst, .. }
+                | Op::Mux { dst, .. } => dst,
+            };
+            self.write(dst, val);
+        }
+    }
+
+    fn step(&mut self) {
+        self.settle();
+        // Capture: every next state from pre-edge values.
+        for (i, c) in self.prog.commits.iter().enumerate() {
+            let cur = self.state[i];
+            self.next[i] = match c.update {
+                SeqUpdate::Edge => self.slots[c.in0 as usize],
+                SeqUpdate::EdgeEnable => {
+                    let en = self.slots[c.in1 as usize];
+                    (en & self.slots[c.in0 as usize]) | (!en & cur)
+                }
+                SeqUpdate::BitcellWrite => {
+                    let wwl = self.slots[c.in0 as usize];
+                    (wwl & self.slots[c.in1 as usize]) | (!wwl & cur)
+                }
+            };
+        }
+        // Commit: update states and q nets.
+        for i in 0..self.prog.commits.len() {
+            let nv = self.next[i];
+            let q = self.prog.commits[i].q;
+            self.state[i] = nv;
+            self.write(q, nv);
+        }
+        self.lane_cycles += self.lanes as u64;
+        self.settle();
+    }
+
+    fn force_state_word(&mut self, inst: InstId, word: u64) {
+        let seq = self.prog.seq_of_inst[inst.index()];
+        assert_ne!(seq, u32::MAX, "instance {inst:?} is not sequential");
+        let q = self.prog.commits[seq as usize].q;
+        self.state[seq as usize] = word;
+        self.write(q, word);
+    }
+
+    fn state_word(&self, inst: InstId) -> u64 {
+        let seq = self.prog.seq_of_inst[inst.index()];
+        assert_ne!(seq, u32::MAX, "instance {inst:?} is not sequential");
+        self.state[seq as usize]
+    }
+
+    fn lane_cycles(&self) -> u64 {
+        self.lane_cycles
+    }
+
+    fn reset_activity(&mut self) {
+        self.toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles = 0;
+    }
+
+    fn toggle_table(&self) -> &[u64] {
+        &self.toggles
+    }
+}

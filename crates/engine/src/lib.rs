@@ -1,0 +1,207 @@
+//! # syndcim-engine — compiled bit-parallel simulation
+//!
+//! The interpreted `syndcim_sim::Simulator` walks the netlist
+//! instance-by-instance, one vector at a time — fine as a reference,
+//! but it is the hot path of every `eval`, shmoo and Pareto-search
+//! iteration. This crate compiles a validated module once into a flat
+//! program and then evaluates **64 test vectors per pass**:
+//!
+//! * [`Program::compile`] — levelizes the combinational instances and
+//!   lowers every cell to AND/OR/XOR/NOT/MUX/CONST micro-ops over dense
+//!   slots; sequential cells become per-cycle commit records;
+//! * [`BatchSim`] — executes the op stream on `u64` words (one bit per
+//!   lane), accumulating per-net toggles as `popcount(prev ^ next)` so
+//!   `syndcim_power` consumes its activity unchanged;
+//! * [`parallel_map`] — scoped-thread batch runner for scaling beyond
+//!   64 lanes across cores (one `BatchSim` per worker, all sharing one
+//!   compiled [`Program`]).
+//!
+//! Both backends implement [`syndcim_sim::SimBackend`]; the interpreter
+//! remains the bit-exact reference the engine is differentially tested
+//! against (same outputs, same per-net toggle counts).
+//!
+//! ```
+//! use syndcim_engine::{BatchSim, Program};
+//! use syndcim_netlist::NetlistBuilder;
+//! use syndcim_pdk::CellLibrary;
+//! use syndcim_sim::SimBackend;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = CellLibrary::syn40();
+//! let mut b = NetlistBuilder::new("fa", &lib);
+//! let (a, c, ci) = (b.input("a"), b.input("b"), b.input("cin"));
+//! let (s, co) = b.fa(a, c, ci);
+//! b.output("s", s);
+//! b.output("co", co);
+//! let m = b.finish();
+//!
+//! let prog = Program::compile(&m, &lib)?;
+//! let mut sim = BatchSim::new(&prog, &m, 8); // 8 vectors at once
+//! for v in 0..8u64 {
+//!     // Lane v simulates input pattern v.
+//!     sim.poke_lane(m.port("a").unwrap().net, v as usize, v & 1 == 1);
+//!     sim.poke_lane(m.port("b").unwrap().net, v as usize, v >> 1 & 1 == 1);
+//!     sim.poke_lane(m.port("cin").unwrap().net, v as usize, v >> 2 & 1 == 1);
+//! }
+//! sim.settle();
+//! for v in 0..8u64 {
+//!     let total = (v & 1) + (v >> 1 & 1) + (v >> 2 & 1);
+//!     assert_eq!(sim.get_lane("s", v as usize), total & 1 == 1);
+//!     assert_eq!(sim.get_lane("co", v as usize), total >= 2);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compile;
+pub mod exec;
+pub mod program;
+pub mod runner;
+
+pub use exec::BatchSim;
+pub use program::Program;
+pub use runner::{default_threads, parallel_map};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use syndcim_netlist::{NetId, NetlistBuilder};
+    use syndcim_pdk::{CellKind, CellLibrary};
+    use syndcim_sim::vectors::seeded_rng;
+    use syndcim_sim::{SimBackend, Simulator};
+
+    /// A mixed circuit exercising every op lowering plus all three
+    /// sequential update rules.
+    fn mixed_module(lib: &CellLibrary) -> syndcim_netlist::Module {
+        let mut b = NetlistBuilder::new("mix", lib);
+        let ins: Vec<NetId> = (0..6).map(|i| b.input(format!("in[{i}]"))).collect();
+        let mut nodes = Vec::new();
+        for cell in lib.cells() {
+            if cell.is_sequential() || cell.function.input_count() == 0 {
+                continue;
+            }
+            let n = cell.function.input_count();
+            nodes.extend(b.add(cell.kind, &ins[..n]));
+        }
+        let tie0 = b.const0();
+        let tie1 = b.const1();
+        nodes.push(b.xor2(tie0, tie1));
+        // Reduce all nodes with a chain of XORs to keep them all live.
+        let mut acc = nodes[0];
+        for &n in &nodes[1..] {
+            acc = b.xor2(acc, n);
+        }
+        let q0 = b.dff(acc);
+        let q1 = b.dffe(acc, ins[5]);
+        let rbl = b.add(CellKind::Sram6T2T, &[ins[4], acc])[0];
+        let merged = b.xor2(q0, q1);
+        let merged = b.xor2(merged, rbl);
+        b.output("y", merged);
+        b.finish()
+    }
+
+    /// Engine lanes must match independent interpreter runs bit-for-bit,
+    /// including every per-net toggle count.
+    #[test]
+    fn differential_vs_interpreter_on_mixed_logic() {
+        let lib = CellLibrary::syn40();
+        let m = mixed_module(&lib);
+        let prog = Program::compile(&m, &lib).unwrap();
+        let lanes = 13; // deliberately not a power of two
+        let cycles = 40;
+
+        // Per-lane random stimulus, seeded per lane.
+        let stimulus: Vec<Vec<[bool; 6]>> = (0..lanes)
+            .map(|l| {
+                let mut rng = seeded_rng(0xD1FF + l as u64);
+                (0..cycles).map(|_| std::array::from_fn(|_| rng.gen_bool(0.5))).collect()
+            })
+            .collect();
+
+        let in_nets: Vec<NetId> = (0..6).map(|i| m.port(&format!("in[{i}]")).unwrap().net).collect();
+        let y_net = m.port("y").unwrap().net;
+
+        // Engine: all lanes at once.
+        let mut eng = BatchSim::new(&prog, &m, lanes);
+        let mut eng_outputs = vec![Vec::new(); lanes];
+        for c in 0..cycles {
+            for (i, &net) in in_nets.iter().enumerate() {
+                let mut word = 0u64;
+                for (l, stim) in stimulus.iter().enumerate() {
+                    word |= (stim[c][i] as u64) << l;
+                }
+                eng.poke_word(net, word);
+            }
+            eng.step();
+            let w = eng.peek_word(y_net);
+            for (l, out) in eng_outputs.iter_mut().enumerate() {
+                out.push((w >> l) & 1 == 1);
+            }
+        }
+
+        // Interpreter: one run per lane; toggles summed.
+        let mut ref_toggles = vec![0u64; m.net_count()];
+        for (l, stim) in stimulus.iter().enumerate() {
+            let mut sim = Simulator::new(&m, &lib).unwrap();
+            for (c, vec6) in stim.iter().enumerate() {
+                for (i, &net) in in_nets.iter().enumerate() {
+                    sim.poke(net, vec6[i]);
+                }
+                Simulator::step(&mut sim);
+                assert_eq!(sim.peek(y_net), eng_outputs[l][c], "lane {l} cycle {c}");
+            }
+            for (t, s) in ref_toggles.iter_mut().zip(sim.toggle_table()) {
+                *t += s;
+            }
+        }
+        assert_eq!(eng.toggle_table(), &ref_toggles[..], "per-net toggle counts must be bit-identical");
+        assert_eq!(eng.lane_cycles(), lanes as u64 * cycles as u64);
+    }
+
+    /// force_state and reset_activity mirror the interpreter.
+    #[test]
+    fn force_state_matches_interpreter() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("cellrw", &lib);
+        let wwl = b.input("wwl");
+        let wbl = b.input("wbl");
+        let rbl = b.add(CellKind::Sram6T2T, &[wwl, wbl])[0];
+        b.output("rbl", rbl);
+        let m = b.finish();
+        let prog = Program::compile(&m, &lib).unwrap();
+        let mut eng = BatchSim::new(&prog, &m, 2);
+        let inst = syndcim_netlist::InstId(0);
+        eng.force_state_word(inst, 0b01);
+        assert!(eng.state_of_lane(inst, 0));
+        assert!(!eng.state_of_lane(inst, 1));
+        eng.settle();
+        assert!(eng.get_lane("rbl", 0));
+        assert!(!eng.get_lane("rbl", 1));
+        eng.reset_activity();
+        assert_eq!(eng.lane_cycles(), 0);
+        assert!(eng.toggle_table().iter().all(|&t| t == 0));
+    }
+
+    /// Deactivated lanes stop contributing toggles.
+    #[test]
+    fn lane_mask_controls_toggle_accounting() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("inv", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let y_net = m.port("y").unwrap().net;
+        let a_net = m.port("a").unwrap().net;
+        let prog = Program::compile(&m, &lib).unwrap();
+        let mut eng = BatchSim::new(&prog, &m, 64);
+        eng.settle(); // y rises in all 64 lanes
+        assert_eq!(eng.toggle_table()[y_net.index()], 64);
+        eng.set_lanes(4);
+        eng.poke_word(a_net, !0); // flips a (and y) in every lane, 4 active
+        eng.settle();
+        assert_eq!(eng.toggle_table()[a_net.index()], 4);
+        assert_eq!(eng.toggle_table()[y_net.index()], 64 + 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Thread-parallel batch execution.
+//!
+//! The environment has no `rayon`, so this is a small scoped-thread
+//! work-stealing map: jobs are claimed off a shared atomic cursor and
+//! results land at their original indices. A [`Program`] is `Sync`, so
+//! every worker can run its own [`crate::BatchSim`] against the same
+//! compiled program — the intended pattern for sweeping thousands of
+//! vector batches across cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `jobs` parallel jobs.
+pub fn default_threads(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(jobs).max(1)
+}
+
+/// Apply `f` to every job on a pool of scoped worker threads, returning
+/// results in job order. `f` receives `(job_index, job)`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the panic payload is resumed on
+/// the calling thread once all workers have stopped).
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = default_threads(jobs.len());
+    if threads <= 1 {
+        return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let job = slots[i].lock().expect("job mutex poisoned").take().expect("each job claimed once");
+                let r = f(i, job);
+                *results[i].lock().expect("result mutex poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result mutex poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_with_indices() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(jobs, |i, j| {
+            assert_eq!(i as u64, j);
+            j * j
+        });
+        assert_eq!(out, (0..100).map(|j| j * j).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u8> = parallel_map(Vec::<u8>::new(), |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = parallel_map(vec![41], |_, j| j + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

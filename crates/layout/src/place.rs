@@ -223,20 +223,17 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
         .map(|&i| lib.cell(module.instances[i].cell).width_um)
         .fold(0.0f64, f64::max);
     let core_h = (core_area / config.aspect).sqrt();
-    let w_col = (core_area / core_h / n_cols as f64)
-        .max(3.0 * row_h)
-        .max(widest_dp / config.row_util + 0.2);
+    let w_col = (core_area / core_h / n_cols as f64).max(3.0 * row_h).max(widest_dp / config.row_util + 0.2);
 
-    let mut cells: Vec<PlacedCell> =
-        (0..module.instances.len()).map(|i| PlacedCell { inst: InstId(i as u32), rect: Rect::default() }).collect();
+    let mut cells: Vec<PlacedCell> = (0..module.instances.len())
+        .map(|i| PlacedCell { inst: InstId(i as u32), rect: Rect::default() })
+        .collect();
     let mut regions = Vec::new();
 
     // Left strip (WL drivers): packed rows, vertical strip.
     let left_area = area_of(&left, config.row_util);
-    let widest_left = left
-        .iter()
-        .map(|&i| lib.cell(module.instances[i].cell).width_um)
-        .fold(0.0f64, f64::max);
+    let widest_left =
+        left.iter().map(|&i| lib.cell(module.instances[i].cell).width_um).fold(0.0f64, f64::max);
     let left_w = if left.is_empty() {
         0.0
     } else {
@@ -276,7 +273,17 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
 
     // Left strip cells.
     if !left.is_empty() {
-        let y_end = pack_rows(&mut cells, module, lib, &left, config.margin_um, core_y0, left_w, row_h, config.row_util);
+        let y_end = pack_rows(
+            &mut cells,
+            module,
+            lib,
+            &left,
+            config.margin_um,
+            core_y0,
+            left_w,
+            row_h,
+            config.row_util,
+        );
         regions.push(Region {
             name: "wl_drivers".into(),
             rect: Rect::new(config.margin_um, core_y0, left_w, y_end - core_y0),
@@ -287,8 +294,10 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
     // Top strips (BL drivers + alignment) across the core width.
     let mut y_top = core_top + 1.0;
     if !top.is_empty() {
-        let y_end = pack_clustered(&mut cells, module, lib, &top, core_x0, y_top, core_w, row_h, config.row_util);
-        regions.push(Region { name: "align+bl".into(), rect: Rect::new(core_x0, y_top, core_w, y_end - y_top) });
+        let y_end =
+            pack_clustered(&mut cells, module, lib, &top, core_x0, y_top, core_w, row_h, config.row_util);
+        regions
+            .push(Region { name: "align+bl".into(), rect: Rect::new(core_x0, y_top, core_w, y_end - y_top) });
         y_top = y_end;
     }
 
@@ -298,8 +307,10 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
     // stacks vertically in its own sub-strip (short inter-level wires).
     let mut y_bot = y_top + 1.0;
     if !bottom.is_empty() {
-        let y_end = pack_clustered(&mut cells, module, lib, &bottom, core_x0, y_bot, core_w, row_h, config.row_util);
-        regions.push(Region { name: "ofu+misc".into(), rect: Rect::new(core_x0, y_bot, core_w, y_end - y_bot) });
+        let y_end =
+            pack_clustered(&mut cells, module, lib, &bottom, core_x0, y_bot, core_w, row_h, config.row_util);
+        regions
+            .push(Region { name: "ofu+misc".into(), rect: Rect::new(core_x0, y_bot, core_w, y_end - y_bot) });
         y_bot = y_end;
     }
 
@@ -336,10 +347,7 @@ fn pack_clustered(
             None => order.push(Bucketed { group: g, ids: vec![i] }),
         }
     }
-    let widest = ids
-        .iter()
-        .map(|&i| lib.cell(module.instances[i].cell).width_um)
-        .fold(0.0f64, f64::max);
+    let widest = ids.iter().map(|&i| lib.cell(module.instances[i].cell).width_um).fold(0.0f64, f64::max);
     let min_w = (widest / util + 0.2).max(3.0 * row_h);
     let per_band = ((w / min_w).floor() as usize).clamp(1, order.len().max(1));
     let strip_w = w / per_band as f64;
@@ -501,7 +509,8 @@ mod tests {
         let p = place(&m, &lib, FloorplanConfig::default()).unwrap();
         let mut bit_rects = Vec::new();
         for (i, inst) in m.instances.iter().enumerate() {
-            if lib.cell(inst.cell).kind == CellKind::Sram6T2T && m.group_name(inst.group).starts_with("col0") {
+            if lib.cell(inst.cell).kind == CellKind::Sram6T2T && m.group_name(inst.group).starts_with("col0")
+            {
                 bit_rects.push(p.cells[i].rect);
             }
         }

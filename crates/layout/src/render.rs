@@ -6,7 +6,8 @@ use std::fmt::Write as _;
 use syndcim_netlist::Module;
 
 const PALETTE: &[&str] = &[
-    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7", "#9c755f",
+    "#bab0ac",
 ];
 
 fn color_for(name: &str) -> &'static str {

@@ -63,7 +63,8 @@ pub fn extract_wires(
         y1: f64,
         pins: u32,
     }
-    let empty = BBox { x0: f64::INFINITY, y0: f64::INFINITY, x1: f64::NEG_INFINITY, y1: f64::NEG_INFINITY, pins: 0 };
+    let empty =
+        BBox { x0: f64::INFINITY, y0: f64::INFINITY, x1: f64::NEG_INFINITY, y1: f64::NEG_INFINITY, pins: 0 };
     let mut bbox = vec![empty; n];
     let grow = |net: usize, x: f64, y: f64, bbox: &mut Vec<BBox>| {
         let b = &mut bbox[net];
@@ -84,11 +85,8 @@ pub fn extract_wires(
     // net's internal centroid onto the closest edge.
     for p in &module.ports {
         let b = bbox[p.net.index()];
-        let (cx, cy) = if b.pins > 0 {
-            ((b.x0 + b.x1) / 2.0, (b.y0 + b.y1) / 2.0)
-        } else {
-            placement.die.center()
-        };
+        let (cx, cy) =
+            if b.pins > 0 { ((b.x0 + b.x1) / 2.0, (b.y0 + b.y1) / 2.0) } else { placement.die.center() };
         let die = placement.die;
         let d_left = cx - die.x_um;
         let d_right = die.right() - cx;

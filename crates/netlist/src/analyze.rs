@@ -84,7 +84,9 @@ impl Connectivity {
         for port in &module.ports {
             if port.dir == PortDir::Input {
                 if driver[port.net.index()] != Driver::None {
-                    return Err(NetlistError::MultipleDrivers { net: module.nets[port.net.index()].name.clone() });
+                    return Err(NetlistError::MultipleDrivers {
+                        net: module.nets[port.net.index()].name.clone(),
+                    });
                 }
                 driver[port.net.index()] = Driver::Port;
             }
@@ -143,7 +145,11 @@ pub fn validate(module: &Module, conn: &Connectivity) -> Result<(), NetlistError
 ///
 /// Returns [`NetlistError::CombinationalLoop`] if the combinational part
 /// of the design is cyclic.
-pub fn levelize(module: &Module, lib: &CellLibrary, conn: &Connectivity) -> Result<Vec<InstId>, NetlistError> {
+pub fn levelize(
+    module: &Module,
+    lib: &CellLibrary,
+    conn: &Connectivity,
+) -> Result<Vec<InstId>, NetlistError> {
     let n = module.instances.len();
     // Pending combinational fan-in count per instance.
     let mut pending = vec![0usize; n];

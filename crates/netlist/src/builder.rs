@@ -367,7 +367,7 @@ mod tests {
         let lib = CellLibrary::syn40();
         let mut b = NetlistBuilder::new("t", &lib);
         let xs = b.input_bus("x", 4);
-        let inv: Vec<_> = xs.iter().map(|&x| x).collect();
+        let inv: Vec<_> = xs.to_vec();
         b.output_bus("y", &inv);
         let m = b.finish();
         assert_eq!(m.bus("x", 4).unwrap().len(), 4);

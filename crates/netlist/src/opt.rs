@@ -145,12 +145,12 @@ fn fold_constants(module: &mut Module, lib: &CellLibrary) -> usize {
     if to_fold.is_empty() {
         return 0;
     }
-    let need0 = to_fold.iter().any(|&i| {
-        module.instances[i].outputs.iter().any(|n| known[n.index()] == Known::Const(false))
-    });
-    let need1 = to_fold.iter().any(|&i| {
-        module.instances[i].outputs.iter().any(|n| known[n.index()] == Known::Const(true))
-    });
+    let need0 = to_fold
+        .iter()
+        .any(|&i| module.instances[i].outputs.iter().any(|n| known[n.index()] == Known::Const(false)));
+    let need1 = to_fold
+        .iter()
+        .any(|&i| module.instances[i].outputs.iter().any(|n| known[n.index()] == Known::Const(true)));
     let tie0 = if need0 { Some(ensure_tie(module, lib, false)) } else { None };
     let tie1 = if need1 { Some(ensure_tie(module, lib, true)) } else { None };
     for &i in &to_fold {
@@ -181,9 +181,7 @@ fn fold_constants(module: &mut Module, lib: &CellLibrary) -> usize {
         .instances
         .iter()
         .enumerate()
-        .map(|(i, inst)| {
-            to_fold.contains(&i) && inst.outputs.iter().all(|n| subst[n.index()].is_some())
-        })
+        .map(|(i, inst)| to_fold.contains(&i) && inst.outputs.iter().all(|n| subst[n.index()].is_some()))
         .collect();
     let before = module.instances.len();
     let mut idx = 0;

@@ -416,11 +416,11 @@ mod tests {
 
     #[test]
     fn oai_functions() {
-        assert_eq!(ev(CellFunction::Oai21, &[false, false, true])[0], true);
-        assert_eq!(ev(CellFunction::Oai21, &[true, false, true])[0], false);
-        assert_eq!(ev(CellFunction::Oai22, &[true, false, true, false])[0], false);
-        assert_eq!(ev(CellFunction::Oai22, &[false, false, true, true])[0], true);
-        assert_eq!(ev(CellFunction::Aoi21, &[true, true, false])[0], false);
+        assert!(ev(CellFunction::Oai21, &[false, false, true])[0]);
+        assert!(!ev(CellFunction::Oai21, &[true, false, true])[0]);
+        assert!(!ev(CellFunction::Oai22, &[true, false, true, false])[0]);
+        assert!(ev(CellFunction::Oai22, &[false, false, true, true])[0]);
+        assert!(!ev(CellFunction::Aoi21, &[true, true, false])[0]);
     }
 
     #[test]
@@ -451,8 +451,8 @@ mod tests {
 
     #[test]
     fn mux2_order_is_d0_d1_s() {
-        assert_eq!(ev(CellFunction::Mux2, &[true, false, false])[0], true);
-        assert_eq!(ev(CellFunction::Mux2, &[true, false, true])[0], false);
+        assert!(ev(CellFunction::Mux2, &[true, false, false])[0]);
+        assert!(!ev(CellFunction::Mux2, &[true, false, true])[0]);
     }
 
     #[test]

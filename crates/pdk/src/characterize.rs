@@ -84,7 +84,12 @@ pub fn characterize(spec: &CellSpec, process: &Process) -> Cell {
         arcs: spec
             .arcs
             .iter()
-            .map(|&(fi, to, p, g)| TimingArc { from_input: fi, to_output: to, parasitic: p, logical_effort: g })
+            .map(|&(fi, to, p, g)| TimingArc {
+                from_input: fi,
+                to_output: to,
+                parasitic: p,
+                logical_effort: g,
+            })
             .collect(),
         internal_energy_fj: spec.internal_energy_fj,
         leakage_nw: spec.tcount as f64 * process.leak_per_t_nw,

@@ -99,6 +99,7 @@ fn dff_timing(setup_ps: f64, clk_to_q_ps: f64, clk_energy_fj: f64, update: SeqUp
 /// The declarative spec table for every cell in the syn40 library.
 ///
 /// Arc tuples are `(from_input, to_output, parasitic_p, logical_effort_g)`.
+#[allow(clippy::vec_init_then_push)] // declarative spec table, one push per cell
 pub fn cell_specs() -> Vec<CellSpec> {
     use CellFunction as F;
     use CellKind as K;
@@ -297,12 +298,7 @@ pub fn cell_specs() -> Vec<CellSpec> {
         tcount: 8,
         density: Logic,
         cin_rel: vec![1.8, 1.8, 1.8, 1.8],
-        arcs: vec![
-            (0, 0, 2.2, 1.8),
-            (1, 0, 2.2, 1.8),
-            (2, 0, 2.2, 1.8),
-            (3, 0, 2.2, 1.8),
-        ],
+        arcs: vec![(0, 0, 2.2, 1.8), (1, 0, 2.2, 1.8), (2, 0, 2.2, 1.8), (3, 0, 2.2, 1.8)],
         internal_energy_fj: 0.9,
         seq: None,
     });
@@ -328,12 +324,7 @@ pub fn cell_specs() -> Vec<CellSpec> {
         tcount: 12,
         density: Logic,
         cin_rel: vec![1.9, 1.9],
-        arcs: vec![
-            (0, 0, 3.0, 2.2),
-            (1, 0, 3.0, 2.2),
-            (0, 1, 1.8, 1.3),
-            (1, 1, 1.8, 1.3),
-        ],
+        arcs: vec![(0, 0, 3.0, 2.2), (1, 0, 3.0, 2.2), (0, 1, 1.8, 1.3), (1, 1, 1.8, 1.3)],
         internal_energy_fj: 2.0,
         seq: None,
     });
@@ -508,12 +499,7 @@ pub fn cell_specs() -> Vec<CellSpec> {
         tcount: 8,
         density: Logic,
         cin_rel: vec![1.8, 1.5, 1.5, 1.6],
-        arcs: vec![
-            (0, 0, 2.0, 1.8),
-            (1, 0, 2.2, 1.8),
-            (2, 0, 2.2, 1.8),
-            (3, 0, 2.4, 2.0),
-        ],
+        arcs: vec![(0, 0, 2.0, 1.8), (1, 0, 2.2, 1.8), (2, 0, 2.2, 1.8), (3, 0, 2.4, 2.0)],
         internal_energy_fj: 0.85,
         seq: None,
     });
@@ -578,8 +564,18 @@ mod tests {
         let fa = lib.cell(lib.id_of(CellKind::Fa));
         let p = lib.process();
         let load = 2.0 * p.cin_unit_ff;
-        let sum = fa.arcs.iter().filter(|a| a.to_output == 0).map(|a| fa.arc_delay_ps(a, p.tau_ps, load)).fold(0.0, f64::max);
-        let carry = fa.arcs.iter().filter(|a| a.to_output == 1).map(|a| fa.arc_delay_ps(a, p.tau_ps, load)).fold(0.0, f64::max);
+        let sum = fa
+            .arcs
+            .iter()
+            .filter(|a| a.to_output == 0)
+            .map(|a| fa.arc_delay_ps(a, p.tau_ps, load))
+            .fold(0.0, f64::max);
+        let carry = fa
+            .arcs
+            .iter()
+            .filter(|a| a.to_output == 1)
+            .map(|a| fa.arc_delay_ps(a, p.tau_ps, load))
+            .fold(0.0, f64::max);
         assert!(carry < sum, "carry ({carry} ps) must beat sum ({sum} ps)");
     }
 
@@ -595,8 +591,18 @@ mod tests {
         assert!(c42.area_um2 < 2.0 * fa.area_um2);
         assert!(c42.internal_energy_fj < 2.0 * fa.internal_energy_fj);
         let load = 2.0 * p.cin_unit_ff;
-        let fa_sum = fa.arcs.iter().filter(|a| a.to_output == 0).map(|a| fa.arc_delay_ps(a, p.tau_ps, load)).fold(0.0, f64::max);
-        let c42_sum = c42.arcs.iter().filter(|a| a.to_output == 0).map(|a| c42.arc_delay_ps(a, p.tau_ps, load)).fold(0.0, f64::max);
+        let fa_sum = fa
+            .arcs
+            .iter()
+            .filter(|a| a.to_output == 0)
+            .map(|a| fa.arc_delay_ps(a, p.tau_ps, load))
+            .fold(0.0, f64::max);
+        let c42_sum = c42
+            .arcs
+            .iter()
+            .filter(|a| a.to_output == 0)
+            .map(|a| c42.arc_delay_ps(a, p.tau_ps, load))
+            .fold(0.0, f64::max);
         assert!(
             c42_sum > 1.71 * fa_sum,
             "C42 sum ({c42_sum:.1} ps) must exceed 1.71× FA sum ({fa_sum:.1} ps) for the FA substitution to pay off"

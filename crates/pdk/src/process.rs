@@ -195,10 +195,7 @@ mod tests {
         // Silicon: ~1.1 GHz @ 1.2 V vs ~300 MHz @ 0.7 V → ratio ≈ 3.67.
         let p = Process::syn40();
         let ratio = p.delay_scale(0.7) / p.delay_scale(1.2);
-        assert!(
-            (3.0..4.6).contains(&ratio),
-            "fmax(1.2V)/fmax(0.7V) = {ratio:.2} should be near 3.7"
-        );
+        assert!((3.0..4.6).contains(&ratio), "fmax(1.2V)/fmax(0.7V) = {ratio:.2} should be near 3.7");
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl<'a> PowerAnalyzer<'a> {
     /// # Errors
     ///
     /// Fails if the netlist has connectivity errors.
-    pub fn with_wire_caps(module: &'a Module, lib: &'a CellLibrary, wire_cap_ff: &[f64]) -> Result<Self, NetlistError> {
+    pub fn with_wire_caps(
+        module: &'a Module,
+        lib: &'a CellLibrary,
+        wire_cap_ff: &[f64],
+    ) -> Result<Self, NetlistError> {
         let conn = Connectivity::build(module)?;
         let n = module.net_count();
         let mut load = vec![0.0f64; n];
@@ -143,7 +147,13 @@ impl<'a> PowerAnalyzer<'a> {
     ///
     /// Panics if `cycles == 0` or the toggle table is shorter than the
     /// net count.
-    pub fn from_activity(&self, toggles: &[u64], cycles: u64, freq_mhz: f64, op: OperatingPoint) -> PowerReport {
+    pub fn from_activity(
+        &self,
+        toggles: &[u64],
+        cycles: u64,
+        freq_mhz: f64,
+        op: OperatingPoint,
+    ) -> PowerReport {
         assert!(cycles > 0, "need at least one simulated cycle");
         assert!(toggles.len() >= self.module.net_count(), "toggle table too short");
         let escale = self.lib.process().energy_scale(op.vdd_v);
@@ -176,14 +186,7 @@ impl<'a> PowerAnalyzer<'a> {
         // fJ/cycle × MHz → 1e-3 µW.
         let dynamic_uw = switch_fj_total * freq_mhz * 1e-3;
         let clock_uw = clock_fj * freq_mhz * 1e-3;
-        PowerReport {
-            dynamic_uw,
-            clock_uw,
-            leakage_uw,
-            energy_per_cycle_pj,
-            freq_mhz,
-            by_group_pj: by_group,
-        }
+        PowerReport { dynamic_uw, clock_uw, leakage_uw, energy_per_cycle_pj, freq_mhz, by_group_pj: by_group }
     }
 
     /// Power assuming every non-constant net toggles `alpha` times per
@@ -320,13 +323,19 @@ mod tests {
             sim.set("a", i % 2 == 0);
             sim.step();
         }
-        let base = PowerAnalyzer::new(&m, &lib)
-            .unwrap()
-            .from_activity(sim.toggle_table(), sim.cycles(), 800.0, OperatingPoint::at_voltage(0.9));
+        let base = PowerAnalyzer::new(&m, &lib).unwrap().from_activity(
+            sim.toggle_table(),
+            sim.cycles(),
+            800.0,
+            OperatingPoint::at_voltage(0.9),
+        );
         let caps = vec![25.0; m.net_count()];
-        let wired = PowerAnalyzer::with_wire_caps(&m, &lib, &caps)
-            .unwrap()
-            .from_activity(sim.toggle_table(), sim.cycles(), 800.0, OperatingPoint::at_voltage(0.9));
+        let wired = PowerAnalyzer::with_wire_caps(&m, &lib, &caps).unwrap().from_activity(
+            sim.toggle_table(),
+            sim.cycles(),
+            800.0,
+            OperatingPoint::at_voltage(0.9),
+        );
         assert!(wired.dynamic_uw > base.dynamic_uw);
     }
 

@@ -32,8 +32,8 @@ use syndcim_sim::vectors::seeded_rng;
 use syndcim_sim::{FpFormat, Simulator};
 use syndcim_sta::Sta;
 use syndcim_subckt::{
-    build_adder_tree, build_array, build_drivers, build_ofu, build_shift_add, AdderTreeConfig,
-    ArrayConfig, BitcellKind, DriverRole, FpRowPorts, MultMuxKind, OfuConfig, ShiftAddConfig, TreeOutput,
+    build_adder_tree, build_array, build_drivers, build_ofu, build_shift_add, AdderTreeConfig, ArrayConfig,
+    BitcellKind, DriverRole, FpRowPorts, MultMuxKind, OfuConfig, ShiftAddConfig, TreeOutput,
 };
 
 /// One characterized PPA record (the LUT row).
@@ -203,7 +203,8 @@ impl Scl {
             return *r;
         }
         let r = characterize_module(&self.lib, self.energy_cycles, |b| {
-            let sa: Vec<Vec<NetId>> = (0..cfg.w_bits).map(|j| b.input_bus(&format!("sa{j}"), cfg.sa_bits)).collect();
+            let sa: Vec<Vec<NetId>> =
+                (0..cfg.w_bits).map(|j| b.input_bus(&format!("sa{j}"), cfg.sa_bits)).collect();
             let prec = b.input_bus("prec", cfg.levels() + 1);
             let out = build_ofu(b, cfg, &sa, &prec);
             for (k, level) in out.levels.iter().enumerate().skip(1) {

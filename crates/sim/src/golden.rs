@@ -31,9 +31,7 @@ pub fn twos_complement_bit(v: i64, bits: u32, t: u32) -> bool {
 /// The bit-serial input schedule: element `t` holds bit `t` (LSB first)
 /// of every activation.
 pub fn bit_serial_schedule(acts: &[i64], bits: u32) -> Vec<Vec<bool>> {
-    (0..bits)
-        .map(|t| acts.iter().map(|&a| twos_complement_bit(a, bits, t)).collect())
-        .collect()
+    (0..bits).map(|t| acts.iter().map(|&a| twos_complement_bit(a, bits, t)).collect()).collect()
 }
 
 /// Per-cycle column partial sum: the number of rows where both the
@@ -198,11 +196,7 @@ mod tests {
                 for w0 in -2i64..2 {
                     for w1 in -2i64..2 {
                         let tr = DcimChannelTrace::run(&[a0, a1], &[w0, w1], 3, 2);
-                        assert_eq!(
-                            tr.output,
-                            a0 * w0 + a1 * w1,
-                            "a=({a0},{a1}) w=({w0},{w1})"
-                        );
+                        assert_eq!(tr.output, a0 * w0 + a1 * w1, "a=({a0},{a1}) w=({w0},{w1})");
                     }
                 }
             }
@@ -231,7 +225,7 @@ mod tests {
     fn int1_uses_sign_encoding() {
         // INT1 two's complement: bit 1 means −1.
         let tr = DcimChannelTrace::run(&[-1, 0, -1], &[-1, -1, 0], 1, 1);
-        assert_eq!(tr.output, (-1) * (-1) + 0 + 0);
+        assert_eq!(tr.output, 1); // (−1)·(−1) + 0 + 0
     }
 
     #[test]
@@ -247,10 +241,7 @@ mod tests {
     fn fp_align_no_shift_is_exact() {
         let fmt = FpFormat::FP8;
         // Same exponent everywhere → no truncation, alignment is exact.
-        let vals: Vec<FpValue> = [1.0, 1.25, -1.875]
-            .iter()
-            .map(|&x| FpValue::from_f64(x, fmt))
-            .collect();
+        let vals: Vec<FpValue> = [1.0, 1.25, -1.875].iter().map(|&x| FpValue::from_f64(x, fmt)).collect();
         let (aligned, emax) = fp_align(&vals, fmt);
         assert_eq!(emax, fmt.bias()); // exponent of 1.x
         assert_eq!(aligned, vec![8, 10, -15]); // significands of 1.0, 1.25, 1.875
@@ -278,12 +269,8 @@ mod tests {
         };
         for _ in 0..100 {
             let n = 16;
-            let a: Vec<FpValue> = (0..n)
-                .map(|_| FpValue::from_bits(next() as u32 & 0xFF, fmt))
-                .collect();
-            let w: Vec<FpValue> = (0..n)
-                .map(|_| FpValue::from_bits(next() as u32 & 0xFF, fmt))
-                .collect();
+            let a: Vec<FpValue> = (0..n).map(|_| FpValue::from_bits(next() as u32 & 0xFF, fmt)).collect();
+            let w: Vec<FpValue> = (0..n).map(|_| FpValue::from_bits(next() as u32 & 0xFF, fmt)).collect();
             let hw = fp_dot(&a, &w, fmt, fmt);
             let exact = fp_dot_exact(&a, &w, fmt, fmt);
             // Each aligned mantissa truncates < 1 ulp of the shared scale;

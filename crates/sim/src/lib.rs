@@ -5,6 +5,9 @@
 //! * [`Simulator`] — levelized two-value cycle simulator with per-net
 //!   toggle counting (the gate-level-simulation role of the paper's
 //!   sign-off flow);
+//! * [`SimBackend`] — the word-oriented backend trait shared with the
+//!   compiled bit-parallel engine (`syndcim-engine`); the interpreter
+//!   is its 1-lane reference implementation;
 //! * [`golden`] — behavioural models of the bit-serial DCIM MAC schedule
 //!   (integer and aligned-FP), against which every generated netlist is
 //!   checked bit-for-bit;
@@ -21,10 +24,12 @@
 //! assert_eq!(trace.output, acts.iter().zip(&weights).map(|(a, w)| a * w).sum::<i64>());
 //! ```
 
+pub mod backend;
 pub mod formats;
 pub mod golden;
 pub mod simulator;
 pub mod vectors;
 
+pub use backend::SimBackend;
 pub use formats::{FpFormat, FpValue, Precision};
 pub use simulator::Simulator;

@@ -73,10 +73,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if no port with that name exists.
     pub fn set(&mut self, port: &str, value: bool) {
-        let net = *self
-            .port_by_name
-            .get(port)
-            .unwrap_or_else(|| panic!("no port named `{port}`"));
+        let net = *self.port_by_name.get(port).unwrap_or_else(|| panic!("no port named `{port}`"));
         self.poke(net, value);
     }
 

@@ -26,15 +26,7 @@ pub fn random_ints(rng: &mut StdRng, n: usize, bits: u32) -> Vec<i64> {
 pub fn sparse_ints(rng: &mut StdRng, n: usize, bits: u32, zero_fraction: f64) -> Vec<i64> {
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
-    (0..n)
-        .map(|_| {
-            if rng.gen_bool(zero_fraction) {
-                0
-            } else {
-                rng.gen_range(min..=max)
-            }
-        })
-        .collect()
+    (0..n).map(|_| if rng.gen_bool(zero_fraction) { 0 } else { rng.gen_range(min..=max) }).collect()
 }
 
 /// Non-negative integers whose *bits* are independently 1 with probability
@@ -58,10 +50,7 @@ pub fn ints_with_bit_density(rng: &mut StdRng, n: usize, bits: u32, bit_density:
 
 /// Measured fraction of 1 bits across the two's-complement encodings.
 pub fn bit_density(vals: &[i64], bits: u32) -> f64 {
-    let ones: u64 = vals
-        .iter()
-        .map(|&v| (v as u64 & ((1u64 << bits) - 1)).count_ones() as u64)
-        .sum();
+    let ones: u64 = vals.iter().map(|&v| (v as u64 & ((1u64 << bits) - 1)).count_ones() as u64).sum();
     ones as f64 / (vals.len() as f64 * bits as f64)
 }
 

@@ -269,12 +269,7 @@ impl<'a> Sta<'a> {
         self.wires.delay_ps.get(net.index()).copied().unwrap_or(0.0)
     }
 
-    fn walk_path(
-        &self,
-        end: NetId,
-        arrival: &[f64],
-        pred: &[Option<(InstId, NetId)>],
-    ) -> Vec<PathStep> {
+    fn walk_path(&self, end: NetId, arrival: &[f64], pred: &[Option<(InstId, NetId)>]) -> Vec<PathStep> {
         let mut steps = Vec::new();
         let mut cur = end;
         let mut guard = 0usize;
@@ -331,10 +326,7 @@ impl<'a> Sta<'a> {
     /// Fanout count of the most-loaded net (diagnostics for driver
     /// sizing).
     pub fn max_fanout(&self) -> usize {
-        (0..self.module.net_count())
-            .map(|i| self.conn.fanout(NetId(i as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.module.net_count()).map(|i| self.conn.fanout(NetId(i as u32))).max().unwrap_or(0)
     }
 }
 
@@ -364,11 +356,7 @@ mod tests {
         // 7 inverters drive one inverter load each, the last drives the
         // port load (4 units): 7·τ(1+1) + τ(1+4) = 19τ.
         let expect = lib.process().tau_ps * 19.0;
-        assert!(
-            (r.max_delay_ps - expect).abs() < 1e-6,
-            "got {} want {expect}",
-            r.max_delay_ps
-        );
+        assert!((r.max_delay_ps - expect).abs() < 1e-6, "got {} want {expect}", r.max_delay_ps);
         assert!(r.met());
         assert_eq!(r.critical_path.len(), 9); // port + 8 inverters
     }
@@ -388,7 +376,8 @@ mod tests {
         let dff = lib.cell(lib.id_of(CellKind::Dff));
         let seq = dff.seq.unwrap();
         // clk2q + inv(load = dff d-pin cap) + setup
-        let inv_delay = lib.process().tau_ps * (1.0 + 1.0 * (dff.input_cap_ff[0] / lib.process().cin_unit_ff));
+        let inv_delay =
+            lib.process().tau_ps * (1.0 + 1.0 * (dff.input_cap_ff[0] / lib.process().cin_unit_ff));
         let expect = seq.clk_to_q_ps + inv_delay + seq.setup_ps;
         assert!((r.max_delay_ps - expect).abs() < 1e-6, "got {} want {expect}", r.max_delay_ps);
     }

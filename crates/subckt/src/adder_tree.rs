@@ -191,7 +191,12 @@ fn pick<const N: usize>(col: &mut Vec<Bit>, reorder: bool) -> [Bit; N] {
     out
 }
 
-fn build_csa(b: &mut NetlistBuilder<'_>, inputs: &[NetId], fa_rounds: usize, cfg: AdderTreeConfig) -> TreeOutput {
+fn build_csa(
+    b: &mut NetlistBuilder<'_>,
+    inputs: &[NetId],
+    fa_rounds: usize,
+    cfg: AdderTreeConfig,
+) -> TreeOutput {
     let width = count_bits(inputs.len());
     let mut cols: Vec<Vec<Bit>> = vec![Vec::new(); width + 2];
     for &n in inputs {
@@ -236,7 +241,8 @@ fn build_csa(b: &mut NetlistBuilder<'_>, inputs: &[NetId], fa_rounds: usize, cfg
                     let (s, carry, cout) = b.c42(p.net, q.net, r.net, s4.net, cin.net);
                     let slow = p.arr.max(q.arr).max(r.arr).max(s4.arr);
                     next[w].push(Bit { net: s, arr: (slow + C42_SUM).max(cin.arr + C42_CIN_SUM) });
-                    next[w + 1].push(Bit { net: carry, arr: (slow + C42_CARRY).max(cin.arr + C42_CIN_CARRY) });
+                    next[w + 1]
+                        .push(Bit { net: carry, arr: (slow + C42_CARRY).max(cin.arr + C42_CIN_CARRY) });
                     let cout_arr = p.arr.max(q.arr).max(r.arr) + C42_COUT;
                     if chain[w + 1].is_none() {
                         chain[w + 1] = Some(Bit { net: cout, arr: cout_arr });
@@ -283,8 +289,7 @@ fn build_csa(b: &mut NetlistBuilder<'_>, inputs: &[NetId], fa_rounds: usize, cfg
     let zero = b.const0();
     let mut op_a = Vec::with_capacity(width);
     let mut op_b = Vec::with_capacity(width);
-    for w in 0..width {
-        let col = &cols[w];
+    for col in cols.iter().take(width) {
         op_a.push(col.first().map(|x| x.net).unwrap_or(zero));
         op_b.push(col.get(1).map(|x| x.net).unwrap_or(zero));
     }
@@ -366,7 +371,9 @@ mod tests {
 
     #[test]
     fn carry_save_output_sums_correctly() {
-        for kind in [AdderTreeKind::CompressorCsa, AdderTreeKind::MixedCsa { fa_rounds: 2 }, AdderTreeKind::RcaTree] {
+        for kind in
+            [AdderTreeKind::CompressorCsa, AdderTreeKind::MixedCsa { fa_rounds: 2 }, AdderTreeKind::RcaTree]
+        {
             check_counts(32, AdderTreeConfig { kind, carry_reorder: true, final_cpa: false });
         }
     }
@@ -392,12 +399,7 @@ mod tests {
         // (its delay parity pre-layout erodes post-layout through its
         // much larger cell and wire count — see the macro-level benches).
         let h = 64;
-        let mk = |kind| {
-            build(
-                h,
-                AdderTreeConfig { kind, carry_reorder: true, final_cpa: true },
-            )
-        };
+        let mk = |kind| build(h, AdderTreeConfig { kind, carry_reorder: true, final_cpa: true });
         let (mc, lib_c) = mk(AdderTreeKind::CompressorCsa);
         let (mf, lib_f) = mk(AdderTreeKind::MixedCsa { fa_rounds: 99 });
         let (mr, lib_r) = mk(AdderTreeKind::RcaTree);
@@ -428,7 +430,10 @@ mod tests {
             let d = Sta::new(&m, &lib).unwrap().analyze(1e6).max_delay_ps;
             best = best.min(d);
         }
-        assert!(best < base * 0.95, "the fastest mixed tree ({best}) must clearly beat pure compressor ({base})");
+        assert!(
+            best < base * 0.95,
+            "the fastest mixed tree ({best}) must clearly beat pure compressor ({base})"
+        );
     }
 
     #[test]

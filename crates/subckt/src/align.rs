@@ -91,7 +91,8 @@ pub fn build_align_pipelined(
                 Some(x) => {
                     let a_ge = ge_unsigned(b, &a, &x);
                     let m = mux_word(b, &x, &a, a_ge);
-                    let m: Vec<NetId> = m.iter().map(|&bit| b.add(syndcim_pdk::CellKind::BufX4, &[bit])[0]).collect();
+                    let m: Vec<NetId> =
+                        m.iter().map(|&bit| b.add(syndcim_pdk::CellKind::BufX4, &[bit])[0]).collect();
                     next.push(m);
                 }
                 None => next.push(a),

@@ -38,7 +38,8 @@ impl BitcellKind {
     }
 
     /// All bitcell variants.
-    pub const ALL: &'static [BitcellKind] = &[BitcellKind::Sram6T2T, BitcellKind::Latch8T, BitcellKind::Oai12T];
+    pub const ALL: &'static [BitcellKind] =
+        &[BitcellKind::Sram6T2T, BitcellKind::Latch8T, BitcellKind::Oai12T];
 }
 
 impl std::fmt::Display for BitcellKind {
@@ -72,7 +73,8 @@ impl MultMuxKind {
     }
 
     /// All multiplier/mux variants.
-    pub const ALL: &'static [MultMuxKind] = &[MultMuxKind::PassGate1T, MultMuxKind::TgNor, MultMuxKind::Oai22Fused];
+    pub const ALL: &'static [MultMuxKind] =
+        &[MultMuxKind::PassGate1T, MultMuxKind::TgNor, MultMuxKind::Oai22Fused];
 }
 
 impl std::fmt::Display for MultMuxKind {
@@ -158,12 +160,7 @@ pub fn build_array(
         bank_sel.iter().all(|s| s.len() == cfg.mcr.trailing_zeros() as usize),
         "need log2(MCR) select bits per column"
     );
-    assert!(
-        cfg.multmux.supports_mcr(cfg.mcr),
-        "{} does not scale to MCR={}",
-        cfg.multmux,
-        cfg.mcr
-    );
+    assert!(cfg.multmux.supports_mcr(cfg.mcr), "{} does not scale to MCR={}", cfg.multmux, cfg.mcr);
 
     let bitcell = cfg.bitcell.cell_kind();
     let mut products = Vec::with_capacity(cfg.w);
@@ -176,8 +173,8 @@ pub fn build_array(
             // Bitcells for each bank.
             b.push_group("bitcells");
             let mut rbl = Vec::with_capacity(cfg.mcr);
-            for bank in 0..cfg.mcr {
-                let out = b.add_named(format!("bc_c{c}_r{r}_b{bank}"), bitcell, &[wwl[bank][r], wbl[c]]);
+            for (bank, wwl_bank) in wwl.iter().enumerate().take(cfg.mcr) {
+                let out = b.add_named(format!("bc_c{c}_r{r}_b{bank}"), bitcell, &[wwl_bank[r], wbl[c]]);
                 let inst = InstId((b.module().instance_count() - 1) as u32);
                 bitcells.push(BitcellRef { col: c, row: r, bank, inst });
                 rbl.push(out[0]);
@@ -307,19 +304,38 @@ mod tests {
 
     #[test]
     fn mcr4_with_scalable_styles() {
-        exercise(ArrayConfig { h: 3, w: 2, mcr: 4, bitcell: BitcellKind::Sram6T2T, multmux: MultMuxKind::TgNor });
-        exercise(ArrayConfig { h: 3, w: 2, mcr: 4, bitcell: BitcellKind::Latch8T, multmux: MultMuxKind::PassGate1T });
+        exercise(ArrayConfig {
+            h: 3,
+            w: 2,
+            mcr: 4,
+            bitcell: BitcellKind::Sram6T2T,
+            multmux: MultMuxKind::TgNor,
+        });
+        exercise(ArrayConfig {
+            h: 3,
+            w: 2,
+            mcr: 4,
+            bitcell: BitcellKind::Latch8T,
+            multmux: MultMuxKind::PassGate1T,
+        });
     }
 
     #[test]
     #[should_panic(expected = "does not scale")]
     fn fused_oai22_rejects_mcr4() {
-        build(ArrayConfig { h: 2, w: 2, mcr: 4, bitcell: BitcellKind::Sram6T2T, multmux: MultMuxKind::Oai22Fused });
+        build(ArrayConfig {
+            h: 2,
+            w: 2,
+            mcr: 4,
+            bitcell: BitcellKind::Sram6T2T,
+            multmux: MultMuxKind::Oai22Fused,
+        });
     }
 
     #[test]
     fn bitcell_refs_cover_the_array() {
-        let cfg = ArrayConfig { h: 3, w: 2, mcr: 2, bitcell: BitcellKind::Sram6T2T, multmux: MultMuxKind::TgNor };
+        let cfg =
+            ArrayConfig { h: 3, w: 2, mcr: 2, bitcell: BitcellKind::Sram6T2T, multmux: MultMuxKind::TgNor };
         let (h, lib) = build(cfg);
         assert_eq!(h.out.bitcells.len(), cfg.h * cfg.w * cfg.mcr);
         // Forcing a bitcell state must show up on its product.

@@ -42,7 +42,12 @@ pub fn chain_for_fanout(fanout: usize) -> Vec<CellKind> {
 
 /// Drive each net of `lines` through a fanout-sized buffer chain;
 /// returns the driven nets in order.
-pub fn build_drivers(b: &mut NetlistBuilder<'_>, role: DriverRole, lines: &[NetId], fanout: usize) -> Vec<NetId> {
+pub fn build_drivers(
+    b: &mut NetlistBuilder<'_>,
+    role: DriverRole,
+    lines: &[NetId],
+    fanout: usize,
+) -> Vec<NetId> {
     b.push_group(role.group());
     let chain = chain_for_fanout(fanout);
     let out = lines
@@ -101,11 +106,8 @@ mod tests {
         let build = |sized: bool| {
             let mut b = syndcim_netlist::NetlistBuilder::new("d", &lib);
             let a = b.input("a");
-            let driven = if sized {
-                build_drivers(&mut b, DriverRole::WordLine, &[a], 64)[0]
-            } else {
-                b.buf(a)
-            };
+            let driven =
+                if sized { build_drivers(&mut b, DriverRole::WordLine, &[a], 64)[0] } else { b.buf(a) };
             let mut last = driven;
             for _ in 0..64 {
                 last = b.add(CellKind::MultNor, &[driven, last])[0];

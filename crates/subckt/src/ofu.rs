@@ -121,11 +121,8 @@ pub fn build_ofu(b: &mut NetlistBuilder<'_>, cfg: OfuConfig, sa: &[Vec<NetId>], 
         assert_eq!(col.len(), cfg.sa_bits, "S&A bus width mismatch");
     }
 
-    let level0: Vec<Vec<NetId>> = if cfg.negate_stage {
-        build_column_negate(b, cfg.w_bits, sa, prec)
-    } else {
-        sa.to_vec()
-    };
+    let level0: Vec<Vec<NetId>> =
+        if cfg.negate_stage { build_column_negate(b, cfg.w_bits, sa, prec) } else { sa.to_vec() };
 
     let mut levels = vec![level0];
     for k in 1..=cfg.levels() {
@@ -169,7 +166,8 @@ mod tests {
     fn build(cfg: OfuConfig) -> (Module, CellLibrary) {
         let lib = CellLibrary::syn40();
         let mut b = NetlistBuilder::new("ofu", &lib);
-        let sa: Vec<Vec<NetId>> = (0..cfg.w_bits).map(|j| b.input_bus(&format!("sa{j}"), cfg.sa_bits)).collect();
+        let sa: Vec<Vec<NetId>> =
+            (0..cfg.w_bits).map(|j| b.input_bus(&format!("sa{j}"), cfg.sa_bits)).collect();
         let prec = b.input_bus("prec", cfg.levels() + 1);
         let out = build_ofu(&mut b, cfg, &sa, &prec);
         for (k, level) in out.levels.iter().enumerate() {

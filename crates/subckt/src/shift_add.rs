@@ -149,7 +149,8 @@ mod tests {
         let mut sim = Simulator::new(&m, &lib).unwrap();
         // psums 0..8 over 4 cycles, last negative.
         let got = run_pass(&mut sim, cfg, &[3, 0, 7, 1]);
-        let want = 3 + 0 * 2 + 7 * 4 - 8;
+        // 3·1 + 0·2 + 7·4 − 1·8 (last cycle negative).
+        let want = 3 + 7 * 4 - 8;
         assert_eq!(got, want);
     }
 

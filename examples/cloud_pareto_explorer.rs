@@ -12,7 +12,13 @@ fn main() {
     println!("frontier ({} points of {} feasible):\n", res.frontier.len(), res.feasible.len());
     println!("{:<56}{:>12}{:>12}{:>9}", "design", "power uW", "area um2", "latency");
     for p in &res.frontier {
-        println!("{:<56}{:>12.0}{:>12.0}{:>9}", p.choice.label(), p.est.power_uw, p.est.area_um2, p.est.latency_cycles);
+        println!(
+            "{:<56}{:>12.0}{:>12.0}{:>9}",
+            p.choice.label(),
+            p.est.power_uw,
+            p.est.area_um2,
+            p.est.latency_cycles
+        );
     }
     for (name, ppa) in [
         ("energy-leaning pick", PpaWeights::energy_leaning()),

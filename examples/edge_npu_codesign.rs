@@ -10,7 +10,10 @@ use syndcim_sim::vectors::{ints_with_bit_density, seeded_rng, sparse_ints};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wearable NPU: INT4, 200 MHz @ 0.7 V, sparse keyword-spotting workload\n");
-    println!("{:<6}{:<44}{:>10}{:>12}{:>14}", "MCR", "selected design", "area mm2", "power uW", "TOPS/W (1b)");
+    println!(
+        "{:<6}{:<44}{:>10}{:>12}{:>14}",
+        "MCR", "selected design", "area mm2", "power uW", "TOPS/W (1b)"
+    );
     let mut rng = seeded_rng(3);
     for mcr in [1usize, 2, 4] {
         let spec = MacroSpec {

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Multi-spec-oriented search over the subcircuit library.
     let mut scl = Scl::new();
     let result = search(&spec, &mut scl);
-    println!("search: {} feasible points, {} on the Pareto frontier", result.feasible.len(), result.frontier.len());
+    println!(
+        "search: {} feasible points, {} on the Pareto frontier",
+        result.feasible.len(),
+        result.frontier.len()
+    );
     let best = result.best(&spec).expect("spec is feasible");
     println!("selected: {}", best.choice.label());
 

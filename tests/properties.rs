@@ -1,24 +1,35 @@
 //! Property-based tests on the core invariants.
+//!
+//! Written as seeded-RNG sampling loops (24 cases each, mirroring the
+//! original proptest configuration) because the offline build environment
+//! has no `proptest`. Each case derives all of its inputs from
+//! `syndcim_sim::vectors::seeded_rng`, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use rand::Rng;
 use syndcim_netlist::NetlistBuilder;
 use syndcim_pdk::CellLibrary;
 use syndcim_sim::golden::{fp_align, DcimChannelTrace};
+use syndcim_sim::vectors::seeded_rng;
 use syndcim_sim::{FpFormat, FpValue, Simulator};
 use syndcim_subckt::{build_adder_tree, AdderTreeConfig, AdderTreeKind, TreeOutput};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// Any adder-tree variant counts any input pattern exactly.
-    #[test]
-    fn adder_tree_counts(bits in proptest::collection::vec(any::<bool>(), 4..40),
-                         fa_rounds in 0usize..4,
-                         reorder in any::<bool>()) {
-        let lib = CellLibrary::syn40();
+/// Any adder-tree variant counts any input pattern exactly.
+#[test]
+fn adder_tree_counts() {
+    let lib = CellLibrary::syn40();
+    for case in 0..CASES {
+        let mut rng = seeded_rng(0xADDE0 + case);
+        let n = rng.gen_range(4usize..40);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let fa_rounds = rng.gen_range(0usize..4);
+        let reorder = rng.gen_bool(0.5);
+
         let mut b = NetlistBuilder::new("t", &lib);
         let ins = b.input_bus("in", bits.len());
-        let kind = if fa_rounds == 0 { AdderTreeKind::CompressorCsa } else { AdderTreeKind::MixedCsa { fa_rounds } };
+        let kind =
+            if fa_rounds == 0 { AdderTreeKind::CompressorCsa } else { AdderTreeKind::MixedCsa { fa_rounds } };
         let cfg = AdderTreeConfig { kind, carry_reorder: reorder, final_cpa: true };
         let out = match build_adder_tree(&mut b, &ins, cfg) {
             TreeOutput::Binary(s) => s,
@@ -33,64 +44,76 @@ proptest! {
         }
         sim.settle();
         let want = bits.iter().filter(|&&x| x).count() as u64;
-        prop_assert_eq!(sim.get_bus_unsigned("sum", width), want);
+        assert_eq!(sim.get_bus_unsigned("sum", width), want, "case {case}: n={n} fa_rounds={fa_rounds}");
     }
+}
 
-    /// The golden bit-serial channel model equals the plain dot product
-    /// for every signed precision combination.
-    #[test]
-    fn golden_channel_is_exact(acts in proptest::collection::vec(-128i64..=127, 1..24),
-                               ws in proptest::collection::vec(-8i64..=7, 1..24)) {
-        let n = acts.len().min(ws.len());
-        let acts = &acts[..n];
-        let ws = &ws[..n];
-        let tr = DcimChannelTrace::run(acts, ws, 8, 4);
-        let want: i64 = acts.iter().zip(ws).map(|(a, w)| a * w).sum();
-        prop_assert_eq!(tr.output, want);
+/// The golden bit-serial channel model equals the plain dot product for
+/// every signed precision combination.
+#[test]
+fn golden_channel_is_exact() {
+    for case in 0..CASES {
+        let mut rng = seeded_rng(0x601D + case);
+        let n = rng.gen_range(1usize..24);
+        let acts: Vec<i64> = (0..n).map(|_| rng.gen_range(-128i64..=127)).collect();
+        let ws: Vec<i64> = (0..n).map(|_| rng.gen_range(-8i64..=7)).collect();
+        let tr = DcimChannelTrace::run(&acts, &ws, 8, 4);
+        let want: i64 = acts.iter().zip(&ws).map(|(a, w)| a * w).sum();
+        assert_eq!(tr.output, want, "case {case}");
     }
+}
 
-    /// FP alignment never increases magnitude and preserves sign.
-    #[test]
-    fn fp_align_bounds(bits in proptest::collection::vec(0u32..256, 2..12)) {
-        let fmt = FpFormat::FP8;
-        let vals: Vec<FpValue> = bits
-            .iter()
-            .map(|&b| {
-                let v = FpValue::from_bits(b, fmt);
-                if v.exp_field == 0 { FpValue::ZERO } else { v }
+/// FP alignment never increases magnitude and preserves sign.
+#[test]
+fn fp_align_bounds() {
+    let fmt = FpFormat::FP8;
+    for case in 0..CASES {
+        let mut rng = seeded_rng(0xF9 + case);
+        let n = rng.gen_range(2usize..12);
+        let vals: Vec<FpValue> = (0..n)
+            .map(|_| {
+                let v = FpValue::from_bits(rng.gen_range(0u32..256), fmt);
+                if v.exp_field == 0 {
+                    FpValue::ZERO
+                } else {
+                    v
+                }
             })
             .collect();
         let (aligned, emax) = fp_align(&vals, fmt);
         for (v, &a) in vals.iter().zip(&aligned) {
-            prop_assert!(a.unsigned_abs() <= (1 << (fmt.man_bits + 1)), "mantissa bound");
+            assert!(a.unsigned_abs() <= (1 << (fmt.man_bits + 1)), "case {case}: mantissa bound");
             if a != 0 {
-                prop_assert_eq!(a < 0, v.sign);
+                assert_eq!(a < 0, v.sign, "case {case}: sign preserved");
             }
             if !v.is_zero() {
-                prop_assert!(emax >= v.exp_field as i32);
+                assert!(emax >= v.exp_field as i32, "case {case}: emax is the max exponent");
             }
         }
     }
+}
 
-    /// Pareto frontier points never dominate each other.
-    #[test]
-    fn pareto_non_domination(seeds in proptest::collection::vec((1u32..1000, 1u32..1000, 1usize..20), 1..40)) {
-        use syndcim_core::{pareto_frontier, DesignChoice, DesignPoint, PpaEstimate};
-        let pts: Vec<DesignPoint> = seeds
-            .iter()
-            .map(|&(p, a, l)| DesignPoint {
+/// Pareto frontier points never dominate each other.
+#[test]
+fn pareto_non_domination() {
+    use syndcim_core::{pareto_frontier, DesignChoice, DesignPoint, PpaEstimate};
+    for case in 0..CASES {
+        let mut rng = seeded_rng(0x9A_0E70 + case);
+        let n = rng.gen_range(1usize..40);
+        let pts: Vec<DesignPoint> = (0..n)
+            .map(|_| DesignPoint {
                 choice: DesignChoice::default(),
                 est: PpaEstimate {
-                    power_uw: p as f64,
-                    area_um2: a as f64,
-                    latency_cycles: l,
+                    power_uw: rng.gen_range(1u32..1000) as f64,
+                    area_um2: rng.gen_range(1u32..1000) as f64,
+                    latency_cycles: rng.gen_range(1usize..20),
                     timing_met: true,
                     ..Default::default()
                 },
             })
             .collect();
         let f = pareto_frontier(&pts);
-        prop_assert!(!f.is_empty());
+        assert!(!f.is_empty(), "case {case}");
         for x in &f {
             for y in &f {
                 let dom = x.est.power_uw <= y.est.power_uw
@@ -99,16 +122,20 @@ proptest! {
                     && (x.est.power_uw < y.est.power_uw
                         || x.est.area_um2 < y.est.area_um2
                         || x.est.latency_cycles < y.est.latency_cycles);
-                prop_assert!(!dom, "frontier contains dominated point");
+                assert!(!dom, "case {case}: frontier contains dominated point");
             }
         }
     }
+}
 
-    /// STA arrival times never decrease along the critical path.
-    #[test]
-    fn sta_arrivals_monotone(depth in 2usize..24) {
-        use syndcim_sta::Sta;
-        let lib = CellLibrary::syn40();
+/// STA arrival times never decrease along the critical path.
+#[test]
+fn sta_arrivals_monotone() {
+    use syndcim_sta::Sta;
+    let lib = CellLibrary::syn40();
+    for case in 0..CASES {
+        let mut rng = seeded_rng(0x57A + case);
+        let depth = rng.gen_range(2usize..24);
         let mut b = NetlistBuilder::new("chain", &lib);
         let a = b.input("a");
         let mut x = a;
@@ -121,7 +148,7 @@ proptest! {
         let rep = sta.analyze(1e9);
         let mut prev = -1.0;
         for s in &rep.critical_path {
-            prop_assert!(s.arrival_ps >= prev);
+            assert!(s.arrival_ps >= prev, "case {case}: arrivals must be monotone");
             prev = s.arrival_ps;
         }
     }

@@ -52,8 +52,10 @@ fn mac_on_bank0_while_writing_bank1() {
     let schedule = bit_serial_schedule(&acts, pa);
     let depth = mac.mac_pipeline_depth as u32;
     for cycle in 0..(pa + depth) {
-        for r in 0..8 {
-            sim.set(&format!("act[{r}]"), if cycle < pa { schedule[cycle as usize][r] } else { false });
+        let quiet = [false; 8];
+        let row: &[bool] = schedule.get(cycle as usize).map_or(&quiet, |r| r);
+        for (r, &bit) in row.iter().enumerate() {
+            sim.set(&format!("act[{r}]"), bit);
         }
         sim.set("clear", cycle == depth);
         sim.set("neg", cycle == pa - 1 + depth);
