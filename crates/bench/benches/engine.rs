@@ -1,21 +1,36 @@
 //! Interpreter vs. compiled-engine vector throughput on the paper
-//! test-chip MAC netlist (64×64, MCR 2, INT1–8 + FP4/FP8).
+//! test-chip MAC netlist (64×64, MCR 2, INT1–8 + FP4/FP8), plus the
+//! engine-backed SCL characterization and parallel Pareto-search
+//! timings.
 //!
 //! One "vector" is a full random input assignment stepped through one
 //! clock cycle. The interpreter simulates one vector per step; the
-//! engine simulates 64 (one per `u64` lane). The bench reports both
-//! iteration times and the resulting per-vector throughput ratio, and
-//! fails if the engine is not at least 10× faster — the acceptance bar
-//! for the compiled backend.
+//! `u64` engine 64 (one per lane); the wide `[u64; 4]` engine 256.
+//! The bench reports iteration times, derived per-vector throughput
+//! ratios and wall-clock timings for `Scl` warm-up and `search`, and
+//! fails if
+//!
+//! * the `u64` engine is not ≥ 10× the interpreter (PR 1's bar),
+//! * the 256-lane wide backend is not ≥ 2× the `u64` backend,
+//! * engine-backed SCL characterization is not ≥ 2× the seed's
+//!   interpreter-backed path.
+//!
+//! All measured numbers are also written to `BENCH_engine.json`
+//! (override the path with the `BENCH_ENGINE_JSON` env var) so CI can
+//! archive the perf trajectory across PRs.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use syndcim_core::{assemble, DesignChoice, MacroSpec};
-use syndcim_engine::{BatchSim, Program};
+use syndcim_core::{assemble, search, DesignChoice, MacroSpec};
+use syndcim_engine::{BatchSim, EngineSim, Program};
 use syndcim_netlist::NetId;
 use syndcim_pdk::CellLibrary;
+use syndcim_scl::Scl;
 use syndcim_sim::{SimBackend, Simulator};
+use syndcim_subckt::{AdderTreeConfig, BitcellKind, MultMuxKind, ShiftAddConfig};
 
-/// Cheap xorshift stimulus source (identical cost in both arms).
+/// Cheap xorshift stimulus source (identical cost in every arm).
 fn next_word(state: &mut u64) -> u64 {
     *state ^= *state << 13;
     *state ^= *state >> 7;
@@ -23,7 +38,26 @@ fn next_word(state: &mut u64) -> u64 {
     *state
 }
 
-fn bench_vector_throughput(c: &mut Criterion) {
+/// Wall-clock one closure, in milliseconds.
+fn time_ms<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Warm one SCL with a fixed, search-representative record set.
+fn warm_scl(scl: &mut Scl) {
+    let cfg = AdderTreeConfig::default();
+    for h in [8, 16, 32, 64] {
+        scl.adder_tree(h, cfg);
+    }
+    scl.column(16, 2, BitcellKind::Sram6T2T, MultMuxKind::TgNor);
+    scl.shift_add(ShiftAddConfig { psum_bits: 7, act_bits: 8 });
+    scl.driver(16);
+    scl.driver(64);
+}
+
+fn bench_engine(c: &mut Criterion) {
     let lib = CellLibrary::syn40();
     let spec = MacroSpec::paper_test_chip();
     let mac = assemble(&lib, &spec, &DesignChoice::default());
@@ -42,7 +76,7 @@ fn bench_vector_throughput(c: &mut Criterion) {
         });
     });
 
-    let engine = c.bench_stats("engine_64vectors_paper_chip", |b| {
+    let engine64 = c.bench_stats("engine_64vectors_paper_chip", |b| {
         let mut sim = BatchSim::new(&prog, module, 64);
         let mut state = 0x5EED;
         b.iter(|| {
@@ -53,13 +87,102 @@ fn bench_vector_throughput(c: &mut Criterion) {
         });
     });
 
+    let engine256 = c.bench_stats("engine_256vectors_paper_chip", |b| {
+        let mut sim = EngineSim::new_wide(&prog, module, 256);
+        let mut state = 0x5EED;
+        b.iter(|| {
+            for &net in &in_nets {
+                for wi in 0..sim.words() {
+                    sim.poke_word_at(net, wi, next_word(&mut state));
+                }
+            }
+            sim.step();
+        });
+    });
+
     let interp_vps = 1e9 / interp.ns_per_iter;
-    let engine_vps = 64.0 * 1e9 / engine.ns_per_iter;
-    let ratio = engine_vps / interp_vps;
-    println!("interpreter: {interp_vps:>12.0} vectors/s");
-    println!("engine:      {engine_vps:>12.0} vectors/s  ({ratio:.1}x)");
-    assert!(ratio >= 10.0, "engine must deliver >= 10x vector throughput, got {ratio:.1}x");
+    let engine64_vps = 64.0 * 1e9 / engine64.ns_per_iter;
+    let engine256_vps = 256.0 * 1e9 / engine256.ns_per_iter;
+    let ratio64 = engine64_vps / interp_vps;
+    let wide_ratio = engine256_vps / engine64_vps;
+    println!("interpreter:  {interp_vps:>12.0} vectors/s");
+    println!("engine u64:   {engine64_vps:>12.0} vectors/s  ({ratio64:.1}x interpreter)");
+    println!("engine wide:  {engine256_vps:>12.0} vectors/s  ({wide_ratio:.2}x u64 backend)");
+
+    // SCL characterization: engine-backed vs the interpreter path over
+    // the same record set at the same stimulus-sample target (512 per
+    // record on both backends).
+    let scl_eng_stats = c.bench_stats("scl_warmup_engine", |b| b.iter(|| warm_scl(&mut Scl::new())));
+    let scl_itp_stats =
+        c.bench_stats("scl_warmup_interpreter", |b| b.iter(|| warm_scl(&mut Scl::interpreted())));
+    let scl_engine_ms = scl_eng_stats.ns_per_iter / 1e6;
+    let scl_interp_ms = scl_itp_stats.ns_per_iter / 1e6;
+    let scl_ratio = scl_interp_ms / scl_engine_ms;
+    println!("scl warm-up:  engine {scl_engine_ms:>9.1} ms   interpreter {scl_interp_ms:>9.1} ms   ({scl_ratio:.1}x)");
+
+    // Parallel Pareto search, cold cache and warm rerun.
+    let search_spec = MacroSpec {
+        h: 16,
+        w: 16,
+        mcr: 2,
+        int_precisions: vec![1, 2, 4],
+        fp_precisions: vec![],
+        f_mac_mhz: 700.0,
+        f_wu_mhz: 400.0,
+        vdd_v: 0.9,
+        ppa: Default::default(),
+    };
+    let mut scl = Scl::new();
+    let search_cold_ms = time_ms(|| {
+        let r = search(&search_spec, &mut scl);
+        assert!(!r.frontier.is_empty());
+    });
+    let search_warm_ms = time_ms(|| {
+        let r = search(&search_spec, &mut scl);
+        assert!(!r.frontier.is_empty());
+    });
+    println!("search 16x16: cold {search_cold_ms:>9.1} ms   warm {search_warm_ms:>9.1} ms");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"interpreter_vps\": {:.0},\n",
+            "  \"engine64_vps\": {:.0},\n",
+            "  \"engine256_vps\": {:.0},\n",
+            "  \"engine64_over_interpreter\": {:.2},\n",
+            "  \"engine256_over_engine64\": {:.3},\n",
+            "  \"scl_engine_ms\": {:.2},\n",
+            "  \"scl_interpreter_ms\": {:.2},\n",
+            "  \"scl_speedup\": {:.2},\n",
+            "  \"search_cold_ms\": {:.2},\n",
+            "  \"search_warm_ms\": {:.2}\n",
+            "}}\n"
+        ),
+        interp_vps,
+        engine64_vps,
+        engine256_vps,
+        ratio64,
+        wide_ratio,
+        scl_engine_ms,
+        scl_interp_ms,
+        scl_ratio,
+        search_cold_ms,
+        search_warm_ms,
+    );
+    let path = std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+
+    assert!(ratio64 >= 10.0, "u64 engine must deliver >= 10x vector throughput, got {ratio64:.1}x");
+    assert!(
+        wide_ratio >= 2.0,
+        "256-lane wide backend must deliver >= 2x vector throughput over u64, got {wide_ratio:.2}x"
+    );
+    assert!(
+        scl_ratio >= 2.0,
+        "engine-backed SCL characterization must be >= 2x the interpreter path, got {scl_ratio:.1}x"
+    );
 }
 
-criterion_group!(benches, bench_vector_throughput);
+criterion_group!(benches, bench_engine);
 criterion_main!(benches);

@@ -18,7 +18,10 @@ fn main() {
         ppa: Default::default(),
     };
     println!("Weight-update study: 32x32, MCR=2, writes at 400 MHz @0.9V (all bits verified)");
-    println!("{:<12}{:>16}{:>16}{:>18}", "bitcell", "fJ/bit", "write Gb/s", "write setup ps");
+    println!(
+        "{:<12}{:>16}{:>12}{:>16}{:>18}",
+        "bitcell", "fJ/bit (mean)", "± std", "write Gb/s", "write setup ps"
+    );
     for bitcell in BitcellKind::ALL {
         let choice = DesignChoice { bitcell: *bitcell, ..DesignChoice::default() };
         let im = implement(&lib, &spec, &choice).expect("flow");
@@ -26,9 +29,10 @@ fn main() {
             measure_weight_update(&im, &lib, OperatingPoint::at_voltage(0.9), 400.0, 7).expect("verified");
         let setup = lib.cell(lib.id_of(bitcell.cell_kind())).seq.unwrap().setup_ps;
         println!(
-            "{:<12}{:>16.1}{:>16.1}{:>18.0}",
+            "{:<12}{:>16.1}{:>12.2}{:>16.1}{:>18.0}",
             bitcell.to_string(),
             m.energy_per_bit_fj,
+            m.energy_per_bit_std_fj,
             m.bandwidth_gbps,
             setup
         );

@@ -7,9 +7,13 @@
 //! Every measurement drives a [`SimBackend`]. Two backends exist:
 //!
 //! * [`EvalBackend::Engine`] (default) — the compiled bit-parallel
-//!   `syndcim_engine` backend: up to 64 measurement passes evaluate
-//!   simultaneously as `u64` lanes, and pass chunks fan out across
-//!   worker threads sharing one compiled program;
+//!   `syndcim_engine` backend: up to 256 measurement passes evaluate
+//!   simultaneously (`u64` lane words up to 64 lanes, `[u64; 4]` wide
+//!   words beyond — `EngineSim` picks the width per chunk), and pass
+//!   chunks fan out across worker threads sharing one compiled program.
+//!   Measurement drivers use the incremental (`drive_word_at`) stimulus
+//!   path, skipping input ports whose lane word is unchanged between
+//!   cycles;
 //! * [`EvalBackend::Interpreter`] — the levelized reference
 //!   `syndcim_sim::Simulator`, running passes sequentially exactly as
 //!   the original sign-off flow did.
@@ -17,7 +21,7 @@
 //! Outputs are golden-model-checked in both backends, so a functional
 //! divergence between them can never go unnoticed.
 
-use syndcim_engine::{parallel_map, BatchSim, Program};
+use syndcim_engine::{default_threads, parallel_map, EngineSim, Program};
 use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
@@ -28,8 +32,21 @@ use crate::assemble::MacroNetlist;
 use crate::error::CoreError;
 use crate::flow::ImplementedMacro;
 
-/// Maximum lanes one `u64`-word engine executor carries.
-const MAX_LANES: usize = 64;
+/// Maximum lanes one engine executor carries (the wide word's 256).
+const MAX_LANES: usize = EngineSim::MAX_LANES;
+
+/// Lane count for measurement chunks: 64-lane `u64` chunks while they
+/// keep every worker thread busy, the 256-lane wide word once
+/// per-thread batches saturate (one wide pass beats four narrow passes
+/// on one core, but not four narrow passes on four idle cores).
+fn chunk_lanes(passes: usize) -> usize {
+    let threads = default_threads(passes.div_ceil(64));
+    if passes <= 64 * threads {
+        64
+    } else {
+        MAX_LANES
+    }
+}
 
 /// Which simulation backend a measurement drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,9 +202,9 @@ pub(crate) fn int_activity(
         }
         EvalBackend::Engine => {
             let prog = Program::compile(&mac.module, lib)?;
-            let chunks: Vec<&[Vec<i64>]> = passes.chunks(MAX_LANES).collect();
+            let chunks: Vec<&[Vec<i64>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = BatchSim::new(&prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::new(&prog, &mac.module, chunk.len());
                 setup_int(&mut sim, mac, pa, weights);
                 run_pass_lanes(&mut sim, mac, pa, chunk);
                 let checked = check_channels(&sim, mac, pa, pa, chunk, &golden)?;
@@ -318,9 +335,9 @@ pub fn measure_fp_with(
         }
         EvalBackend::Engine => {
             let prog = Program::compile(&mac.module, lib)?;
-            let chunks: Vec<&[Vec<FpValue>]> = passes.chunks(MAX_LANES).collect();
+            let chunks: Vec<&[Vec<FpValue>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = BatchSim::new(&prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::new(&prog, &mac.module, chunk.len());
                 setup_fp(&mut sim, mac, pw, &aligned_w);
                 run_chunk(&mut sim, chunk)
             });
@@ -332,23 +349,35 @@ pub fn measure_fp_with(
     Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
 }
 
-/// Result of a weight-update measurement.
+/// Result of a weight-update measurement over one or more independent
+/// random write patterns.
 #[derive(Debug, Clone)]
 pub struct WeightUpdateMeasurement {
-    /// Energy per written weight bit, in fJ.
+    /// Mean energy per written weight bit across patterns, in fJ.
     pub energy_per_bit_fj: f64,
+    /// Population standard deviation of the per-pattern write energy
+    /// per bit, in fJ (0 when a single pattern is measured).
+    pub energy_per_bit_std_fj: f64,
+    /// Independent random write patterns measured.
+    pub patterns: usize,
     /// Write bandwidth at the measurement frequency, in Gb/s.
     pub bandwidth_gbps: f64,
-    /// Bits written during the measurement.
+    /// Bits written per pattern.
     pub bits_written: usize,
 }
+
+/// Independent write patterns [`measure_weight_update`] drives by
+/// default — each occupies one engine lane.
+pub const DEFAULT_WU_PATTERNS: usize = 8;
 
 /// Measure the weight-update path on the default (engine) backend:
 /// stream random weights into every (bank, row) through the real write
 /// port (BL drivers + address decoder + bitcell capture) and account the
 /// switching energy — the dimension-dependent driver cost the paper
 /// attributes to WL/BL drivers, and the per-bitcell write cost that
-/// differentiates the cell variants.
+/// differentiates the cell variants. [`DEFAULT_WU_PATTERNS`] independent
+/// random data patterns run simultaneously as engine lanes; the result
+/// reports the mean and spread of the per-bit write energy across them.
 ///
 /// # Errors
 ///
@@ -364,10 +393,7 @@ pub fn measure_weight_update(
     measure_weight_update_with(im, lib, op, f_mhz, seed, EvalBackend::default())
 }
 
-/// [`measure_weight_update`] with an explicit backend choice. The write
-/// stream is one sequential address sequence, so both backends run a
-/// single lane; the engine still wins by replacing interpretation with
-/// the compiled op stream.
+/// [`measure_weight_update`] with an explicit backend choice.
 ///
 /// # Errors
 ///
@@ -381,29 +407,76 @@ pub fn measure_weight_update_with(
     seed: u64,
     backend: EvalBackend,
 ) -> Result<WeightUpdateMeasurement, CoreError> {
+    measure_weight_update_patterns(im, lib, op, f_mhz, seed, DEFAULT_WU_PATTERNS, backend)
+}
+
+/// [`measure_weight_update`] over an explicit number of independent
+/// write patterns. On the engine backend every pattern occupies one
+/// lane of a single executor (per-lane toggle accounting attributes the
+/// energy); the interpreter runs the same per-pattern stimulus streams
+/// sequentially, so both backends report identical per-pattern energies.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if any bitcell fails to
+/// capture its written value in any pattern.
+///
+/// # Panics
+///
+/// Panics if `patterns` is zero or exceeds the engine's lane capacity.
+pub fn measure_weight_update_patterns(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    op: OperatingPoint,
+    f_mhz: f64,
+    seed: u64,
+    patterns: usize,
+    backend: EvalBackend,
+) -> Result<WeightUpdateMeasurement, CoreError> {
+    assert!((1..=MAX_LANES).contains(&patterns), "pattern count {patterns} outside 1..={MAX_LANES}");
     let mac = &im.mac;
-    let activity = match backend {
+    let per_pattern: Vec<Activity> = match backend {
         EvalBackend::Interpreter => {
-            let mut sim = Simulator::new(&mac.module, lib)?;
-            run_weight_update(&mut sim, mac, seed)?
+            let mut acts = Vec::with_capacity(patterns);
+            for l in 0..patterns {
+                let mut sim = Simulator::new(&mac.module, lib)?;
+                acts.push(run_weight_update(&mut sim, mac, pattern_seed(seed, l as u64))?);
+            }
+            acts
         }
         EvalBackend::Engine => {
             let prog = Program::compile(&mac.module, lib)?;
-            let mut sim = BatchSim::new(&prog, &mac.module, 1);
-            run_weight_update(&mut sim, mac, seed)?
+            let mut sim = EngineSim::new(&prog, &mac.module, patterns);
+            sim.enable_lane_toggles();
+            run_weight_update_lanes(&mut sim, mac, seed, patterns)?
         }
     };
 
     let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)?;
-    let cycles = activity.lane_cycles;
-    let power = analyzer.from_activity(&activity.toggles, cycles, f_mhz, op);
     let bits = mac.w * mac.h * mac.mcr;
-    let total_energy_fj = power.energy_per_cycle_pj * 1000.0 * cycles as f64;
+    let energies: Vec<f64> = per_pattern
+        .iter()
+        .map(|a| {
+            let power = analyzer.from_activity(&a.toggles, a.lane_cycles, f_mhz, op);
+            power.energy_per_cycle_pj * 1000.0 * a.lane_cycles as f64 / bits as f64
+        })
+        .collect();
+    let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+    let var = energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / energies.len() as f64;
     Ok(WeightUpdateMeasurement {
-        energy_per_bit_fj: total_energy_fj / bits as f64,
+        energy_per_bit_fj: mean,
+        energy_per_bit_std_fj: var.sqrt(),
+        patterns,
         bandwidth_gbps: mac.w as f64 * f_mhz * 1e6 / 1e9,
         bits_written: bits,
     })
+}
+
+/// Derive the xorshift stream of one write pattern. Pattern 0 keeps the
+/// seed's original `seed | 1` stream so single-pattern measurements
+/// reproduce historical numbers.
+fn pattern_seed(seed: u64, pattern: u64) -> u64 {
+    seed.wrapping_add(pattern.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 fn run_weight_update<B: SimBackend>(
@@ -429,7 +502,7 @@ fn run_weight_update<B: SimBackend>(
             for (&net, e) in wbl_nets.iter().zip(expect_row.iter_mut()) {
                 let bit = next_bit(&mut state);
                 *e = bit;
-                sim.poke_word(net, if bit { !0 } else { 0 });
+                sim.drive_word_at(net, 0, if bit { !0 } else { 0 });
             }
             sim.step();
         }
@@ -448,6 +521,68 @@ fn run_weight_update<B: SimBackend>(
         }
     }
     Ok(Activity { toggles: sim.toggle_table().to_vec(), lane_cycles: sim.lane_cycles(), checked: 0 })
+}
+
+/// Drive `patterns` independent random write streams simultaneously —
+/// pattern `l` in lane `l` — and split the activity per pattern via the
+/// engine's per-lane toggle accounting. The address sequence is shared
+/// (it is data-independent); the written data differs per lane.
+#[allow(clippy::needless_range_loop)] // bank/row index `expect` AND drive the address buses
+fn run_weight_update_lanes(
+    sim: &mut EngineSim<'_>,
+    mac: &MacroNetlist,
+    seed: u64,
+    patterns: usize,
+) -> Result<Vec<Activity>, CoreError> {
+    use rand_like::next_bit;
+    configure_precision(sim, mac, mac.w_bits);
+    quiesce(sim, mac);
+    sim.reset_activity();
+
+    let wbl_nets: Vec<NetId> = (0..mac.w).map(|c| sim.net_of(&format!("wbl[{c}]"))).collect();
+    let mut streams: Vec<u64> = (0..patterns).map(|l| pattern_seed(seed, l as u64) | 1).collect();
+    // expect[lane][bank][row][col]
+    let mut expect = vec![vec![vec![vec![false; mac.w]; mac.h]; mac.mcr]; patterns];
+    for bank in 0..mac.mcr {
+        for row in 0..mac.h {
+            sim.set_all("wr_en", true);
+            sim.set_bus_all("wr_row", mac.h.trailing_zeros(), row as i64);
+            if mac.mcr > 1 {
+                sim.set_bus_all("wr_bank", mac.mcr.trailing_zeros(), bank as i64);
+            }
+            for (col, &net) in wbl_nets.iter().enumerate() {
+                for wi in 0..sim.words() {
+                    let mut word = 0u64;
+                    for l in wi * 64..patterns.min(wi * 64 + 64) {
+                        let bit = next_bit(&mut streams[l]);
+                        expect[l][bank][row][col] = bit;
+                        word |= (bit as u64) << (l - wi * 64);
+                    }
+                    sim.drive_word_at(net, wi, word);
+                }
+            }
+            sim.step();
+        }
+    }
+    sim.set_all("wr_en", false);
+
+    // Verify every bitcell captured its bit in every lane.
+    for bc in &mac.bitcells {
+        for (l, expect_lane) in expect.iter().enumerate() {
+            let want = expect_lane[bc.bank][bc.row][bc.col];
+            if sim.state_of_lane(bc.inst, l) != want {
+                return Err(CoreError::FunctionalMismatch {
+                    channel: bc.col,
+                    got: sim.state_of_lane(bc.inst, l) as i64,
+                    want: want as i64,
+                });
+            }
+        }
+    }
+    let cycles = sim.lane_cycles() / patterns as u64;
+    Ok((0..patterns)
+        .map(|l| Activity { toggles: sim.lane_toggle_table(l), lane_cycles: cycles, checked: 0 })
+        .collect())
 }
 
 /// Tiny xorshift bit source (keeps `rand` out of the library API).
@@ -516,7 +651,10 @@ fn quiesce<B: SimBackend>(sim: &mut B, mac: &MacroNetlist) {
 
 /// Drive one bit-serial pass of `pa`-bit activations in every lane
 /// simultaneously (lane `l` computes `lanes_acts[l]`), leaving the
-/// accumulators holding the completed pass.
+/// accumulators holding the completed pass. Stimulus goes through the
+/// incremental [`SimBackend::drive_word_at`] path, so input ports whose
+/// lane word repeats between cycles are not re-driven — bit-identical
+/// toggles, less driver overhead.
 fn run_pass_lanes(
     sim: &mut (impl SimBackend + ?Sized),
     mac: &MacroNetlist,
@@ -531,25 +669,32 @@ fn run_pass_lanes(
     let act_nets: Vec<NetId> = (0..mac.h).map(|r| sim.net_of(&format!("act[{r}]"))).collect();
     let clear_net = sim.net_of("clear");
     let neg_net = sim.net_of("neg");
+    let words = sim.words();
     let total = pa + depth + u32::from(mac.choice.ofu_extra_pipe);
     for cycle in 0..total {
         // Activation bits enter on cycles 0..pa.
         for (r, &net) in act_nets.iter().enumerate() {
-            let mut word = 0u64;
-            if cycle < pa {
-                for (l, sched) in schedules.iter().enumerate() {
-                    word |= (sched[cycle as usize][r] as u64) << l;
+            for wi in 0..words {
+                let mut word = 0u64;
+                if cycle < pa {
+                    for (l, sched) in schedules.iter().enumerate().skip(wi * 64).take(64) {
+                        word |= (sched[cycle as usize][r] as u64) << (l - wi * 64);
+                    }
                 }
+                sim.drive_word_at(net, wi, word);
             }
-            sim.poke_word(net, word);
         }
         // S&A controls are aligned to the psum arrival (delayed by the
         // pipeline registers between tree and accumulator).
-        sim.poke_word(clear_net, if cycle == depth { !0 } else { 0 });
-        sim.poke_word(neg_net, if cycle == pa - 1 + depth { !0 } else { 0 });
+        for wi in 0..words {
+            sim.drive_word_at(clear_net, wi, if cycle == depth { !0 } else { 0 });
+            sim.drive_word_at(neg_net, wi, if cycle == pa - 1 + depth { !0 } else { 0 });
+        }
         sim.step();
     }
-    sim.poke_word(neg_net, 0);
+    for wi in 0..words {
+        sim.drive_word_at(neg_net, wi, 0);
+    }
 }
 
 /// Golden-check every channel of every lane after a completed pass.
@@ -779,7 +924,13 @@ mod tests {
                 implement(&lib, &spec_int(), &DesignChoice { bitcell, ..DesignChoice::default() }).unwrap();
             let m = measure_weight_update(&im, &lib, op, 400.0, 99).unwrap();
             assert_eq!(m.bits_written, 8 * 8 * 2);
+            assert_eq!(m.patterns, DEFAULT_WU_PATTERNS);
             assert!(m.energy_per_bit_fj > 0.0);
+            // Independent random data per lane ⇒ the per-pattern write
+            // energies spread, and the spread stays small relative to
+            // the mean.
+            assert!(m.energy_per_bit_std_fj > 0.0, "{m:?}");
+            assert!(m.energy_per_bit_std_fj < m.energy_per_bit_fj, "{m:?}");
             per_cell.push(m.energy_per_bit_fj);
         }
         // The 8T latch writes cost more energy than the 6T+2T cell.
@@ -793,10 +944,29 @@ mod tests {
         let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
         let eng = measure_weight_update_with(&im, &lib, op, 400.0, 1234, EvalBackend::Engine).unwrap();
         let itp = measure_weight_update_with(&im, &lib, op, 400.0, 1234, EvalBackend::Interpreter).unwrap();
-        // One sequential lane each: identical stimulus → identical toggles
-        // → identical energy.
+        // Pattern l runs the same stimulus stream on both backends: the
+        // engine's per-lane toggle tables match the interpreter's
+        // per-pattern runs, so mean AND spread agree exactly.
         assert_eq!(eng.bits_written, itp.bits_written);
+        assert_eq!(eng.patterns, itp.patterns);
         assert!((eng.energy_per_bit_fj - itp.energy_per_bit_fj).abs() < 1e-12, "{eng:?} vs {itp:?}");
+        assert!((eng.energy_per_bit_std_fj - itp.energy_per_bit_std_fj).abs() < 1e-12, "{eng:?} vs {itp:?}");
         assert_eq!(eng.bandwidth_gbps, itp.bandwidth_gbps);
+    }
+
+    /// A wide-word pattern set (>64 lanes) still verifies every bitcell
+    /// in every lane and keeps the mean near the narrow-word run.
+    #[test]
+    fn weight_update_spans_wide_words() {
+        let lib = CellLibrary::syn40();
+        let op = OperatingPoint::at_voltage(0.9);
+        let im = implement(&lib, &spec_int(), &DesignChoice::default()).unwrap();
+        let narrow = measure_weight_update_patterns(&im, &lib, op, 400.0, 7, 8, EvalBackend::Engine).unwrap();
+        let wide = measure_weight_update_patterns(&im, &lib, op, 400.0, 7, 72, EvalBackend::Engine).unwrap();
+        assert_eq!(wide.patterns, 72);
+        // Pattern 0..8 share streams with the narrow run; the means are
+        // estimates of the same distribution.
+        let rel = (wide.energy_per_bit_fj - narrow.energy_per_bit_fj).abs() / narrow.energy_per_bit_fj;
+        assert!(rel < 0.2, "narrow {} vs wide {}", narrow.energy_per_bit_fj, wide.energy_per_bit_fj);
     }
 }

@@ -52,7 +52,8 @@ pub use design::{DesignChoice, DesignPoint, PpaEstimate};
 pub use error::CoreError;
 pub use eval::{
     measure_fp, measure_fp_with, measure_int, measure_int_with, measure_weight_update,
-    measure_weight_update_with, EvalBackend, MacMeasurement, WeightUpdateMeasurement,
+    measure_weight_update_patterns, measure_weight_update_with, EvalBackend, MacMeasurement,
+    WeightUpdateMeasurement, DEFAULT_WU_PATTERNS,
 };
 pub use flow::{implement, ImplementedMacro};
 pub use pareto::pareto_frontier;

@@ -17,6 +17,7 @@
 //! for power or area are applied by substituting power/area-efficient
 //! subcircuits."
 
+use syndcim_engine::parallel_map;
 use syndcim_pdk::OperatingPoint;
 use syndcim_scl::Scl;
 use syndcim_sim::Precision;
@@ -85,100 +86,172 @@ impl StageDelays {
 /// Returns every feasible point plus the Pareto frontier. The estimates
 /// come from the SCL lookup tables; the implementation flow
 /// (`crate::flow`) later signs off the selected points with full STA.
+///
+/// Evaluation fans out across cores: every `(bitcell, multmux)` site is
+/// one job on the engine's [`parallel_map`] runner. Each worker climbs
+/// its site's adder ladder against a clone of the caller's (pre-warmed)
+/// SCL cache; the per-worker caches merge back via [`Scl::absorb`]
+/// afterwards. Characterization is deterministic per key, so the result
+/// — feasible list, frontier, rejection count and the final cache — is
+/// identical to the sequential evaluation order.
 pub fn search(spec: &MacroSpec, scl: &mut Scl) -> SearchResult {
-    let mut feasible: Vec<DesignPoint> = Vec::new();
-    let mut rejected = 0usize;
     // Constraints are specified at spec.vdd_v: scale nominal-corner SCL
     // delays to that supply.
     let scale = scl.cell_library().process().delay_scale(spec.vdd_v);
     let period = spec.mac_period_ps();
     let wu_period = spec.wu_period_ps();
 
-    for &bitcell in BitcellKind::ALL {
-        for &multmux in MultMuxKind::ALL {
-            if !multmux.supports_mcr(spec.mcr) {
-                continue;
-            }
-            // Climb the adder ladder from the cheapest topology.
-            let mut ladder = AdderTreeKind::speed_ladder(MAX_FA_ROUNDS);
-            ladder.push(AdderTreeKind::RcaTree); // baseline stays searchable
-            let mut found_for_site = false;
-            for kind in AdderTreeKind::speed_ladder(MAX_FA_ROUNDS) {
-                let mut choice =
-                    DesignChoice { bitcell, multmux, tree_kind: kind, ..DesignChoice::default() };
+    // Pre-warm the site-independent records so every worker inherits
+    // them instead of re-characterizing per thread: drivers, the S&A,
+    // every ladder kind's entry-point tree, the OFU variants the
+    // fine-tuning always touches, and the alignment unit.
+    let psum_bits = count_bits(spec.h);
+    let act_bits = spec.act_bits() as usize;
+    let sa_bits = psum_bits + act_bits;
+    let w_bits = spec.weight_bits() as usize;
+    scl.driver(spec.w);
+    scl.driver(spec.h * spec.mcr);
+    scl.shift_add(ShiftAddConfig { psum_bits, act_bits });
+    let carry_reorder = DesignChoice::default().carry_reorder;
+    let mut warm_ladder = AdderTreeKind::speed_ladder(MAX_FA_ROUNDS);
+    warm_ladder.push(AdderTreeKind::RcaTree);
+    for kind in warm_ladder {
+        scl.adder_tree(spec.h, AdderTreeConfig { kind, carry_reorder, final_cpa: true });
+    }
+    for negate_stage in [true, false] {
+        scl.ofu(OfuConfig { w_bits, sa_bits, negate_stage, extra_pipeline: false });
+    }
+    if let Some(fmt) = spec.widest_fp() {
+        scl.align(spec.h.min(16), fmt, false);
+    }
 
-                // --- MAC-path loop: retime, then split ---------------
-                let mut stages = estimate(spec, scl, &choice);
-                if stages.mac_ps * scale > period && !choice.tree_retimed {
-                    choice.tree_retimed = true;
-                    stages = estimate(spec, scl, &choice);
-                }
-                while stages.mac_ps * scale > period && choice.column_split < 4 {
-                    choice.column_split *= 2;
-                    stages = estimate(spec, scl, &choice);
-                }
+    let sites: Vec<(BitcellKind, MultMuxKind)> = BitcellKind::ALL
+        .iter()
+        .flat_map(|&bitcell| {
+            MultMuxKind::ALL
+                .iter()
+                .filter(|multmux| multmux.supports_mcr(spec.mcr))
+                .map(move |&multmux| (bitcell, multmux))
+        })
+        .collect();
 
-                // --- alignment-unit pipelining --------------------------
-                if stages.align_ps * scale > period {
-                    choice.align_pipelined = true;
-                    stages = estimate(spec, scl, &choice);
-                }
+    let base: &Scl = scl;
+    let site_results = parallel_map(sites, |_, (bitcell, multmux)| {
+        let mut local = base.clone();
+        let r = search_site(spec, &mut local, bitcell, multmux, scale, period, wu_period);
+        (r, local)
+    });
 
-                // --- OFU loop: retime negate, then extra pipeline ----
-                if stages.ofu_ps * scale > period {
-                    choice.ofu_negate_retimed = true;
-                    stages = estimate(spec, scl, &choice);
-                }
-                if stages.ofu_ps * scale > period {
-                    choice.ofu_extra_pipe = true;
-                    stages = estimate(spec, scl, &choice);
-                }
-
-                // --- weight-update constraint -------------------------
-                if stages.write_ps * scale > wu_period {
-                    rejected += 1;
-                    continue;
-                }
-
-                if stages.worst_mac_stage() * scale > period {
-                    rejected += 1;
-                    continue;
-                }
-                found_for_site = true;
-
-                // --- register pruning ---------------------------------
-                // Merge tree and S&A stages when their combined delay
-                // still fits the period.
-                if !choice.tree_retimed && choice.pipe_tree_sa {
-                    let merged = DesignChoice { pipe_tree_sa: false, ..choice };
-                    let ms = estimate(spec, scl, &merged);
-                    if ms.worst_mac_stage() * scale <= period && ms.write_ps * scale <= wu_period {
-                        feasible.push(point(spec, scl, &merged, &ms));
-                    }
-                }
-
-                // --- power/area fine-tuning ---------------------------
-                // The retimed-negate OFU trades the per-column negate
-                // chains for control-path XORs: strictly cheaper, adopted
-                // when timing holds.
-                if !choice.ofu_negate_retimed {
-                    let tuned = DesignChoice { ofu_negate_retimed: true, ..choice };
-                    let ts = estimate(spec, scl, &tuned);
-                    if ts.worst_mac_stage() * scale <= period {
-                        feasible.push(point(spec, scl, &tuned, &ts));
-                    }
-                }
-
-                feasible.push(point(spec, scl, &choice, &stages));
-            }
-            if !found_for_site {
-                rejected += 1;
-            }
-        }
+    let mut feasible: Vec<DesignPoint> = Vec::new();
+    let mut rejected = 0usize;
+    for (site, cache) in site_results {
+        feasible.extend(site.feasible);
+        rejected += site.rejected;
+        scl.absorb(cache);
     }
 
     let frontier = pareto_frontier(&feasible);
     SearchResult { feasible, frontier, rejected }
+}
+
+/// Feasible points and rejections of one `(bitcell, multmux)` site.
+struct SiteResult {
+    feasible: Vec<DesignPoint>,
+    rejected: usize,
+}
+
+/// Climb the adder ladder for one memory/multiplier site, applying the
+/// paper's timing moves (retime → split → align pipeline → OFU retime →
+/// OFU pipeline), register pruning and fine-tuning.
+fn search_site(
+    spec: &MacroSpec,
+    scl: &mut Scl,
+    bitcell: BitcellKind,
+    multmux: MultMuxKind,
+    scale: f64,
+    period: f64,
+    wu_period: f64,
+) -> SiteResult {
+    let mut feasible: Vec<DesignPoint> = Vec::new();
+    let mut rejected = 0usize;
+
+    // Climb the adder ladder from the cheapest topology; the RCA
+    // baseline rides along so it stays searchable.
+    let mut ladder = AdderTreeKind::speed_ladder(MAX_FA_ROUNDS);
+    ladder.push(AdderTreeKind::RcaTree);
+    let mut found_for_site = false;
+    for kind in ladder {
+        let mut choice = DesignChoice { bitcell, multmux, tree_kind: kind, ..DesignChoice::default() };
+
+        // --- MAC-path loop: retime, then split ---------------
+        let mut stages = estimate(spec, scl, &choice);
+        if stages.mac_ps * scale > period && !choice.tree_retimed {
+            choice.tree_retimed = true;
+            stages = estimate(spec, scl, &choice);
+        }
+        while stages.mac_ps * scale > period && choice.column_split < 4 {
+            choice.column_split *= 2;
+            stages = estimate(spec, scl, &choice);
+        }
+
+        // --- alignment-unit pipelining --------------------------
+        if stages.align_ps * scale > period {
+            choice.align_pipelined = true;
+            stages = estimate(spec, scl, &choice);
+        }
+
+        // --- OFU loop: retime negate, then extra pipeline ----
+        if stages.ofu_ps * scale > period {
+            choice.ofu_negate_retimed = true;
+            stages = estimate(spec, scl, &choice);
+        }
+        if stages.ofu_ps * scale > period {
+            choice.ofu_extra_pipe = true;
+            stages = estimate(spec, scl, &choice);
+        }
+
+        // --- weight-update constraint -------------------------
+        if stages.write_ps * scale > wu_period {
+            rejected += 1;
+            continue;
+        }
+
+        if stages.worst_mac_stage() * scale > period {
+            rejected += 1;
+            continue;
+        }
+        found_for_site = true;
+
+        // --- register pruning ---------------------------------
+        // Merge tree and S&A stages when their combined delay
+        // still fits the period.
+        if !choice.tree_retimed && choice.pipe_tree_sa {
+            let merged = DesignChoice { pipe_tree_sa: false, ..choice };
+            let ms = estimate(spec, scl, &merged);
+            if ms.worst_mac_stage() * scale <= period && ms.write_ps * scale <= wu_period {
+                feasible.push(point(spec, scl, &merged, &ms));
+            }
+        }
+
+        // --- power/area fine-tuning ---------------------------
+        // The retimed-negate OFU trades the per-column negate
+        // chains for control-path XORs: strictly cheaper, adopted
+        // when timing holds.
+        if !choice.ofu_negate_retimed {
+            let tuned = DesignChoice { ofu_negate_retimed: true, ..choice };
+            let ts = estimate(spec, scl, &tuned);
+            if ts.worst_mac_stage() * scale <= period {
+                feasible.push(point(spec, scl, &tuned, &ts));
+            }
+        }
+
+        feasible.push(point(spec, scl, &choice, &stages));
+    }
+    if !found_for_site {
+        rejected += 1;
+    }
+
+    SiteResult { feasible, rejected }
 }
 
 /// Assemble stage-delay estimates for one choice from SCL records
@@ -328,6 +401,19 @@ mod tests {
         }
     }
 
+    /// The RCA baseline tree rides the ladder and is actually searched
+    /// (the seed built the ladder with RcaTree pushed but iterated a
+    /// fresh speed ladder, silently skipping it — fixed in PR 2).
+    #[test]
+    fn rca_baseline_stays_searchable() {
+        let mut scl = Scl::new();
+        let res = search(&small_spec(200.0), &mut scl);
+        assert!(
+            res.feasible.iter().any(|p| p.choice.tree_kind == AdderTreeKind::RcaTree),
+            "a relaxed clock must keep the RCA baseline feasible"
+        );
+    }
+
     #[test]
     fn relaxed_spec_keeps_cheap_trees() {
         let mut scl = Scl::new();
@@ -391,6 +477,23 @@ mod tests {
         assert!(e_point.est.power_uw <= a_point.est.power_uw + 1e-9);
         assert!(a_point.est.area_um2 <= e_point.est.area_um2 + 1e-9);
         let _ = (p_energy, p_area);
+    }
+
+    /// The parallel site fan-out must be invisible: records are
+    /// deterministic per key, so a cold cache, a warm cache and repeated
+    /// runs all produce identical results, and the per-worker caches
+    /// merge back into the caller's `Scl`.
+    #[test]
+    fn parallel_search_is_deterministic_and_merges_caches() {
+        let mut scl = Scl::new();
+        let cold = search(&small_spec(700.0), &mut scl);
+        let cached = scl.len();
+        assert!(cached > 0, "worker caches must merge back");
+        let warm = search(&small_spec(700.0), &mut scl);
+        assert_eq!(scl.len(), cached, "warm rerun characterizes nothing new");
+        assert_eq!(cold.rejected, warm.rejected);
+        assert_eq!(cold.feasible, warm.feasible);
+        assert_eq!(cold.frontier, warm.frontier);
     }
 
     #[test]

@@ -1,69 +1,81 @@
 //! Bit-parallel execution of a compiled [`Program`].
 //!
-//! [`BatchSim`] evaluates up to 64 independent test vectors ("lanes")
-//! simultaneously: every slot holds one `u64` whose bit `l` is the logic
-//! value in lane `l`. A settle is one linear pass over the op stream —
-//! no hash maps, no per-cell dispatch through `Vec<bool>` buffers — and
-//! per-net toggles accumulate as `popcount((prev ^ next) & lane_mask)`,
-//! which makes an L-lane run report exactly the toggle totals of L
-//! separate interpreter runs over the same per-lane stimulus.
+//! [`BatchExec`] is generic over its [`LaneWord`]: every slot holds one
+//! word whose lane `l` is the logic value of one independent test
+//! vector. [`BatchSim`] (`u64`, 64 lanes) is the classic single-register
+//! hot path; [`BatchSim256`] (`[u64; 4]`, 256 lanes) quadruples the
+//! vectors per pass on straight-line element-wise code that LLVM lowers
+//! to the target's vector unit. [`EngineSim`] picks the narrowest word
+//! that fits a requested lane count, so callers never pay the wide word
+//! for small batches.
+//!
+//! A settle is one linear pass over the op stream — no hash maps, no
+//! per-cell dispatch through `Vec<bool>` buffers — and per-net toggles
+//! accumulate as `popcount((prev ^ next) & lane_mask)`, which makes an
+//! L-lane run report exactly the toggle totals of L separate interpreter
+//! runs over the same per-lane stimulus, at any word width.
 
 use syndcim_netlist::{InstId, Module, NetId};
 use syndcim_pdk::SeqUpdate;
 use syndcim_sim::SimBackend;
 
 use crate::program::{Op, Program};
+use crate::word::{LaneWord, W256};
 
-/// Word-level batch executor over one compiled program.
+/// Word-level batch executor over one compiled program, generic over
+/// the lane word `W`. Use the [`BatchSim`] / [`BatchSim256`] aliases or
+/// the width-selecting [`EngineSim`].
 #[derive(Debug)]
-pub struct BatchSim<'a> {
+pub struct BatchExec<'a, W: LaneWord> {
     prog: &'a Program,
     module: &'a Module,
     /// Value word per slot (net slots first, then scratch).
-    slots: Vec<u64>,
+    slots: Vec<W>,
     /// Stored state word per sequential element (dense commit order).
-    state: Vec<u64>,
+    state: Vec<W>,
     /// Capture buffer reused every step.
-    next: Vec<u64>,
+    next: Vec<W>,
     /// Per-net toggle counts summed over active lanes.
     toggles: Vec<u64>,
+    /// Optional per-lane toggle counts, `net * lanes + lane` — enabled
+    /// by [`BatchExec::enable_lane_toggles`] for measurements that need
+    /// per-lane energy attribution (e.g. write-energy variance).
+    lane_toggles: Option<Vec<u64>>,
     lanes: usize,
-    mask: u64,
+    mask: W,
     lane_cycles: u64,
 }
 
-fn lane_mask(lanes: usize) -> u64 {
-    assert!((1..=64).contains(&lanes), "lane count {lanes} outside 1..=64");
-    if lanes == 64 {
-        !0
-    } else {
-        (1u64 << lanes) - 1
-    }
-}
+/// The 64-lane executor (one `u64` per slot).
+pub type BatchSim<'a> = BatchExec<'a, u64>;
 
-impl<'a> BatchSim<'a> {
-    /// Create an executor with `lanes` active lanes (1..=64). All nets
-    /// and states start at logic 0 in every lane, matching a freshly
-    /// constructed interpreter.
+/// The 256-lane wide-word executor (`[u64; 4]` per slot).
+pub type BatchSim256<'a> = BatchExec<'a, W256>;
+
+impl<'a, W: LaneWord> BatchExec<'a, W> {
+    /// Create an executor with `lanes` active lanes (`1..=W::LANES`).
+    /// All nets and states start at logic 0 in every lane, matching a
+    /// freshly constructed interpreter.
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is outside `1..=64`, or if `module`'s net or
-    /// instance counts disagree with the program (a shape check — the
-    /// caller is responsible for pairing a program with the exact
-    /// module it was compiled from).
+    /// Panics if `lanes` is outside `1..=W::LANES`, or if `module`'s net
+    /// or instance counts disagree with the program (a shape check — the
+    /// caller is responsible for pairing a program with the exact module
+    /// it was compiled from).
     pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
         assert_eq!(prog.net_count, module.net_count(), "program/module net-count mismatch");
         assert_eq!(prog.seq_of_inst.len(), module.instance_count(), "program/module instance-count mismatch");
-        BatchSim {
+        BatchExec {
             prog,
             module,
-            slots: vec![0; prog.slot_count],
-            state: vec![0; prog.commits.len()],
-            next: vec![0; prog.commits.len()],
+            slots: vec![W::splat(false); prog.slot_count],
+            state: vec![W::splat(false); prog.commits.len()],
+            next: vec![W::splat(false); prog.commits.len()],
             toggles: vec![0; prog.net_count],
+            lane_toggles: None,
             lanes,
-            mask: lane_mask(lanes),
+            mask: W::mask(lanes),
             lane_cycles: 0,
         }
     }
@@ -81,23 +93,62 @@ impl<'a> BatchSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is zero or larger than the current lane count.
+    /// Panics if `lanes` is zero or larger than the current lane count,
+    /// or if per-lane toggle accounting is enabled (its storage is
+    /// strided by the lane count at enable time, so resizing afterwards
+    /// would corrupt the attribution — create a new executor instead).
     pub fn set_lanes(&mut self, lanes: usize) {
         assert!(
             lanes <= self.lanes,
             "lane set can only shrink (have {}, asked {lanes}); create a new BatchSim to grow",
             self.lanes
         );
+        assert!(
+            self.lane_toggles.is_none(),
+            "cannot resize the lane set once per-lane toggle accounting is enabled"
+        );
         self.lanes = lanes;
-        self.mask = lane_mask(lanes);
+        self.mask = W::mask(lanes);
+    }
+
+    /// Start per-lane toggle accounting (in addition to the aggregate
+    /// table). Costs one extra pass over changed lanes per slot write,
+    /// so it is off by default; enable it before driving stimulus.
+    pub fn enable_lane_toggles(&mut self) {
+        if self.lane_toggles.is_none() {
+            self.lane_toggles = Some(vec![0; self.prog.net_count * self.lanes]);
+        }
+    }
+
+    /// Per-net toggle counts of one lane (indexed by [`NetId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`BatchExec::enable_lane_toggles`] was never called or
+    /// `lane` is not an active lane.
+    pub fn lane_toggle_table(&self, lane: usize) -> Vec<u64> {
+        assert!(lane < self.lanes, "lane {lane} out of range (executor has {} lanes)", self.lanes);
+        let lt = self.lane_toggles.as_ref().expect("per-lane toggles not enabled");
+        (0..self.prog.net_count).map(|n| lt[n * self.lanes + lane]).collect()
     }
 
     #[inline]
-    fn write(&mut self, dst: u32, val: u64) {
+    fn write(&mut self, dst: u32, val: W) {
         let d = dst as usize;
         if d < self.prog.net_count {
             let old = self.slots[d];
-            self.toggles[d] += ((old ^ val) & self.mask).count_ones() as u64;
+            let flips = old.xor(val).and(self.mask);
+            flips.popcount_accum(W::splat(true), &mut self.toggles[d]);
+            if let Some(lt) = &mut self.lane_toggles {
+                for wi in 0..W::WORDS {
+                    let mut chunk = flips.get_u64(wi);
+                    while chunk != 0 {
+                        let lane = wi * 64 + chunk.trailing_zeros() as usize;
+                        lt[d * self.lanes + lane] += 1;
+                        chunk &= chunk - 1;
+                    }
+                }
+            }
         }
         self.slots[d] = val;
     }
@@ -109,14 +160,12 @@ impl<'a> BatchSim<'a> {
     /// Panics if `lane` is not an active lane.
     pub fn poke_lane(&mut self, net: NetId, lane: usize, value: bool) {
         assert!(lane < self.lanes, "lane {lane} out of range (executor has {} lanes)", self.lanes);
-        let bit = 1u64 << lane;
-        let old = self.slots[net.index()];
-        let word = if value { old | bit } else { old & !bit };
-        SimBackend::poke_word(self, net, word);
+        let word = self.slots[net.index()].with_lane(lane, value);
+        self.write(net.index() as u32, word);
     }
 }
 
-impl SimBackend for BatchSim<'_> {
+impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
     fn lanes(&self) -> usize {
         self.lanes
     }
@@ -126,11 +175,23 @@ impl SimBackend for BatchSim<'_> {
     }
 
     fn poke_word(&mut self, net: NetId, word: u64) {
-        self.write(net.index() as u32, word);
+        self.poke_word_at(net, 0, word);
     }
 
     fn peek_word(&self, net: NetId) -> u64 {
-        self.slots[net.index()]
+        self.slots[net.index()].get_u64(0)
+    }
+
+    fn poke_word_at(&mut self, net: NetId, word_idx: usize, word: u64) {
+        assert!(word_idx < self.words(), "word {word_idx} out of range ({} lane words)", self.words());
+        let mut val = self.slots[net.index()];
+        val.set_u64(word_idx, word);
+        self.write(net.index() as u32, val);
+    }
+
+    fn peek_word_at(&self, net: NetId, word_idx: usize) -> u64 {
+        assert!(word_idx < self.words(), "word {word_idx} out of range ({} lane words)", self.words());
+        self.slots[net.index()].get_u64(word_idx)
     }
 
     fn settle(&mut self) {
@@ -138,21 +199,14 @@ impl SimBackend for BatchSim<'_> {
         for k in 0..self.prog.ops.len() {
             let op = self.prog.ops[k];
             let val = match op {
-                Op::Const { ones, .. } => {
-                    if ones {
-                        !0
-                    } else {
-                        0
-                    }
-                }
+                Op::Const { ones, .. } => W::splat(ones),
                 Op::Copy { a, .. } => self.slots[a as usize],
-                Op::Not { a, .. } => !self.slots[a as usize],
-                Op::And { a, b, .. } => self.slots[a as usize] & self.slots[b as usize],
-                Op::Or { a, b, .. } => self.slots[a as usize] | self.slots[b as usize],
-                Op::Xor { a, b, .. } => self.slots[a as usize] ^ self.slots[b as usize],
+                Op::Not { a, .. } => self.slots[a as usize].not(),
+                Op::And { a, b, .. } => self.slots[a as usize].and(self.slots[b as usize]),
+                Op::Or { a, b, .. } => self.slots[a as usize].or(self.slots[b as usize]),
+                Op::Xor { a, b, .. } => self.slots[a as usize].xor(self.slots[b as usize]),
                 Op::Mux { d0, d1, s, .. } => {
-                    let sel = self.slots[s as usize];
-                    (sel & self.slots[d1 as usize]) | (!sel & self.slots[d0 as usize])
+                    W::mux(self.slots[d0 as usize], self.slots[d1 as usize], self.slots[s as usize])
                 }
             };
             let dst = match op {
@@ -175,13 +229,9 @@ impl SimBackend for BatchSim<'_> {
             let cur = self.state[i];
             self.next[i] = match c.update {
                 SeqUpdate::Edge => self.slots[c.in0 as usize],
-                SeqUpdate::EdgeEnable => {
-                    let en = self.slots[c.in1 as usize];
-                    (en & self.slots[c.in0 as usize]) | (!en & cur)
-                }
+                SeqUpdate::EdgeEnable => W::mux(cur, self.slots[c.in0 as usize], self.slots[c.in1 as usize]),
                 SeqUpdate::BitcellWrite => {
-                    let wwl = self.slots[c.in0 as usize];
-                    (wwl & self.slots[c.in1 as usize]) | (!wwl & cur)
+                    W::mux(cur, self.slots[c.in1 as usize], self.slots[c.in0 as usize])
                 }
             };
         }
@@ -197,17 +247,29 @@ impl SimBackend for BatchSim<'_> {
     }
 
     fn force_state_word(&mut self, inst: InstId, word: u64) {
-        let seq = self.prog.seq_of_inst[inst.index()];
-        assert_ne!(seq, u32::MAX, "instance {inst:?} is not sequential");
-        let q = self.prog.commits[seq as usize].q;
-        self.state[seq as usize] = word;
-        self.write(q, word);
+        self.force_state_word_at(inst, 0, word);
     }
 
     fn state_word(&self, inst: InstId) -> u64 {
+        self.state_word_at(inst, 0)
+    }
+
+    fn force_state_word_at(&mut self, inst: InstId, word_idx: usize, word: u64) {
+        assert!(word_idx < self.words(), "word {word_idx} out of range ({} lane words)", self.words());
         let seq = self.prog.seq_of_inst[inst.index()];
         assert_ne!(seq, u32::MAX, "instance {inst:?} is not sequential");
-        self.state[seq as usize]
+        let q = self.prog.commits[seq as usize].q;
+        let mut val = self.state[seq as usize];
+        val.set_u64(word_idx, word);
+        self.state[seq as usize] = val;
+        self.write(q, val);
+    }
+
+    fn state_word_at(&self, inst: InstId, word_idx: usize) -> u64 {
+        assert!(word_idx < self.words(), "word {word_idx} out of range ({} lane words)", self.words());
+        let seq = self.prog.seq_of_inst[inst.index()];
+        assert_ne!(seq, u32::MAX, "instance {inst:?} is not sequential");
+        self.state[seq as usize].get_u64(word_idx)
     }
 
     fn lane_cycles(&self) -> u64 {
@@ -216,10 +278,140 @@ impl SimBackend for BatchSim<'_> {
 
     fn reset_activity(&mut self) {
         self.toggles.iter_mut().for_each(|t| *t = 0);
+        if let Some(lt) = &mut self.lane_toggles {
+            lt.iter_mut().for_each(|t| *t = 0);
+        }
         self.lane_cycles = 0;
     }
 
     fn toggle_table(&self) -> &[u64] {
         &self.toggles
+    }
+}
+
+/// Width-selecting engine executor: [`BatchSim`] (`u64`) for up to 64
+/// lanes, [`BatchSim256`] (`[u64; 4]`) beyond — one type for callers
+/// that size their batches at run time.
+#[derive(Debug)]
+pub enum EngineSim<'a> {
+    /// `u64` lane word, 1..=64 lanes.
+    Narrow(BatchSim<'a>),
+    /// `[u64; 4]` lane word, 65..=256 lanes.
+    Wide(BatchSim256<'a>),
+}
+
+impl<'a> EngineSim<'a> {
+    /// Most lanes one executor carries (the wide word's capacity).
+    pub const MAX_LANES: usize = W256::LANES;
+
+    /// Create an executor for `lanes` lanes on the narrowest lane word
+    /// that fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds [`EngineSim::MAX_LANES`],
+    /// or on a program/module shape mismatch.
+    pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
+        if lanes <= u64::LANES {
+            EngineSim::Narrow(BatchExec::new(prog, module, lanes))
+        } else {
+            EngineSim::Wide(BatchExec::new(prog, module, lanes))
+        }
+    }
+
+    /// Force the wide (`[u64; 4]`) word even for small lane counts —
+    /// the knob the differential tests and benches use to compare
+    /// widths on identical stimulus.
+    pub fn new_wide(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
+        EngineSim::Wide(BatchExec::new(prog, module, lanes))
+    }
+
+    /// Start per-lane toggle accounting (see
+    /// [`BatchExec::enable_lane_toggles`]).
+    pub fn enable_lane_toggles(&mut self) {
+        match self {
+            EngineSim::Narrow(s) => s.enable_lane_toggles(),
+            EngineSim::Wide(s) => s.enable_lane_toggles(),
+        }
+    }
+
+    /// Per-net toggle counts of one lane (see
+    /// [`BatchExec::lane_toggle_table`]).
+    pub fn lane_toggle_table(&self, lane: usize) -> Vec<u64> {
+        match self {
+            EngineSim::Narrow(s) => s.lane_toggle_table(lane),
+            EngineSim::Wide(s) => s.lane_toggle_table(lane),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $sim:ident => $body:expr) => {
+        match $self {
+            EngineSim::Narrow($sim) => $body,
+            EngineSim::Wide($sim) => $body,
+        }
+    };
+}
+
+impl SimBackend for EngineSim<'_> {
+    fn lanes(&self) -> usize {
+        delegate!(self, s => s.lanes())
+    }
+
+    fn module(&self) -> &Module {
+        delegate!(self, s => SimBackend::module(s))
+    }
+
+    fn poke_word(&mut self, net: NetId, word: u64) {
+        delegate!(self, s => s.poke_word(net, word))
+    }
+
+    fn peek_word(&self, net: NetId) -> u64 {
+        delegate!(self, s => s.peek_word(net))
+    }
+
+    fn poke_word_at(&mut self, net: NetId, word_idx: usize, word: u64) {
+        delegate!(self, s => s.poke_word_at(net, word_idx, word))
+    }
+
+    fn peek_word_at(&self, net: NetId, word_idx: usize) -> u64 {
+        delegate!(self, s => s.peek_word_at(net, word_idx))
+    }
+
+    fn settle(&mut self) {
+        delegate!(self, s => s.settle())
+    }
+
+    fn step(&mut self) {
+        delegate!(self, s => s.step())
+    }
+
+    fn force_state_word(&mut self, inst: InstId, word: u64) {
+        delegate!(self, s => s.force_state_word(inst, word))
+    }
+
+    fn state_word(&self, inst: InstId) -> u64 {
+        delegate!(self, s => s.state_word(inst))
+    }
+
+    fn force_state_word_at(&mut self, inst: InstId, word_idx: usize, word: u64) {
+        delegate!(self, s => s.force_state_word_at(inst, word_idx, word))
+    }
+
+    fn state_word_at(&self, inst: InstId, word_idx: usize) -> u64 {
+        delegate!(self, s => s.state_word_at(inst, word_idx))
+    }
+
+    fn lane_cycles(&self) -> u64 {
+        delegate!(self, s => s.lane_cycles())
+    }
+
+    fn reset_activity(&mut self) {
+        delegate!(self, s => s.reset_activity())
+    }
+
+    fn toggle_table(&self) -> &[u64] {
+        delegate!(self, s => s.toggle_table())
     }
 }

@@ -4,16 +4,19 @@
 //! instance-by-instance, one vector at a time — fine as a reference,
 //! but it is the hot path of every `eval`, shmoo and Pareto-search
 //! iteration. This crate compiles a validated module once into a flat
-//! program and then evaluates **64 test vectors per pass**:
+//! program and then evaluates **up to 256 test vectors per pass**:
 //!
 //! * [`Program::compile`] — levelizes the combinational instances and
 //!   lowers every cell to AND/OR/XOR/NOT/MUX/CONST micro-ops over dense
 //!   slots; sequential cells become per-cycle commit records;
-//! * [`BatchSim`] — executes the op stream on `u64` words (one bit per
-//!   lane), accumulating per-net toggles as `popcount(prev ^ next)` so
-//!   `syndcim_power` consumes its activity unchanged;
+//! * [`BatchExec`] — executes the op stream on [`LaneWord`]s (one bit
+//!   per lane), accumulating per-net toggles as `popcount(prev ^ next)`
+//!   so `syndcim_power` consumes its activity unchanged. [`BatchSim`]
+//!   is the 64-lane `u64` instantiation, [`BatchSim256`] the 256-lane
+//!   `[u64; 4]` wide word, and [`EngineSim`] auto-selects the narrowest
+//!   width that fits a requested lane count;
 //! * [`parallel_map`] — scoped-thread batch runner for scaling beyond
-//!   64 lanes across cores (one `BatchSim` per worker, all sharing one
+//!   one word across cores (one executor per worker, all sharing one
 //!   compiled [`Program`]).
 //!
 //! Both backends implement [`syndcim_sim::SimBackend`]; the interpreter
@@ -57,10 +60,12 @@ pub mod compile;
 pub mod exec;
 pub mod program;
 pub mod runner;
+pub mod word;
 
-pub use exec::BatchSim;
+pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
 pub use program::Program;
 pub use runner::{default_threads, parallel_map};
+pub use word::{LaneWord, W256};
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +186,121 @@ mod tests {
         eng.reset_activity();
         assert_eq!(eng.lane_cycles(), 0);
         assert!(eng.toggle_table().iter().all(|&t| t == 0));
+    }
+
+    /// The 256-lane wide word must match per-lane interpreter runs on
+    /// every net, every cycle, every lane — including per-net aggregate
+    /// AND per-lane toggle tables — exactly like the `u64` backend.
+    #[test]
+    fn wide_backend_matches_interpreter_lane_for_lane() {
+        let lib = CellLibrary::syn40();
+        let m = mixed_module(&lib);
+        let prog = Program::compile(&m, &lib).unwrap();
+        let lanes = 150; // spans three 64-lane chunks, partial last chunk
+        let cycles = 12;
+
+        let stimulus: Vec<Vec<[bool; 6]>> = (0..lanes)
+            .map(|l| {
+                let mut rng = seeded_rng(0x256 + l as u64);
+                (0..cycles).map(|_| std::array::from_fn(|_| rng.gen_bool(0.5))).collect()
+            })
+            .collect();
+        let in_nets: Vec<NetId> = (0..6).map(|i| m.port(&format!("in[{i}]")).unwrap().net).collect();
+
+        let mut eng = EngineSim::new(&prog, &m, lanes);
+        assert!(matches!(eng, EngineSim::Wide(_)), "151+ lanes must select the wide word");
+        eng.enable_lane_toggles();
+        let mut snapshots: Vec<Vec<Vec<u64>>> = Vec::new(); // [cycle][net][word]
+        for c in 0..cycles {
+            for (i, &net) in in_nets.iter().enumerate() {
+                for wi in 0..eng.words() {
+                    let mut word = 0u64;
+                    for (l, stim) in stimulus.iter().enumerate().skip(wi * 64).take(64) {
+                        word |= (stim[c][i] as u64) << (l - wi * 64);
+                    }
+                    eng.poke_word_at(net, wi, word);
+                }
+            }
+            eng.step();
+            snapshots.push(
+                (0..m.net_count())
+                    .map(|n| (0..eng.words()).map(|wi| eng.peek_word_at(NetId(n as u32), wi)).collect())
+                    .collect(),
+            );
+        }
+
+        let mut ref_toggles = vec![0u64; m.net_count()];
+        for (l, stim) in stimulus.iter().enumerate() {
+            let mut sim = Simulator::new(&m, &lib).unwrap();
+            for (c, vec6) in stim.iter().enumerate() {
+                for (i, &net) in in_nets.iter().enumerate() {
+                    sim.poke(net, vec6[i]);
+                }
+                Simulator::step(&mut sim);
+                for (n, words) in snapshots[c].iter().enumerate() {
+                    let word = words[l / 64];
+                    assert_eq!(
+                        sim.peek(NetId(n as u32)),
+                        (word >> (l % 64)) & 1 == 1,
+                        "lane {l} cycle {c} net {n}"
+                    );
+                }
+            }
+            assert_eq!(
+                eng.lane_toggle_table(l),
+                sim.toggle_table(),
+                "lane {l}: per-lane toggle table must equal its interpreter run"
+            );
+            for (t, s) in ref_toggles.iter_mut().zip(sim.toggle_table()) {
+                *t += s;
+            }
+        }
+        assert_eq!(eng.toggle_table(), &ref_toggles[..], "aggregate toggles must sum the lanes");
+        assert_eq!(eng.lane_cycles(), lanes as u64 * cycles as u64);
+    }
+
+    /// EngineSim picks the narrowest word that fits.
+    #[test]
+    fn engine_sim_selects_word_width() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("inv", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let prog = Program::compile(&m, &lib).unwrap();
+        assert!(matches!(EngineSim::new(&prog, &m, 64), EngineSim::Narrow(_)));
+        assert!(matches!(EngineSim::new(&prog, &m, 65), EngineSim::Wide(_)));
+        let narrow = EngineSim::new(&prog, &m, 64);
+        let wide = EngineSim::new(&prog, &m, 65);
+        assert_eq!(narrow.words(), 1);
+        assert_eq!(wide.words(), 2);
+        assert_eq!(EngineSim::MAX_LANES, 256);
+    }
+
+    /// The dirty-set drive path skips unchanged words without altering
+    /// toggle accounting.
+    #[test]
+    fn drive_word_at_is_toggle_identical_to_poke() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("buf", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let a_net = m.port("a").unwrap().net;
+        let prog = Program::compile(&m, &lib).unwrap();
+        let mut poked = BatchSim::new(&prog, &m, 64);
+        let mut driven = BatchSim::new(&prog, &m, 64);
+        let words = [0xDEAD, 0xDEAD, 0, 0, 0xBEEF];
+        for &w in &words {
+            poked.poke_word(a_net, w);
+            poked.settle();
+            driven.drive_word_at(a_net, 0, w);
+            driven.settle();
+        }
+        assert_eq!(poked.toggle_table(), driven.toggle_table());
+        assert_eq!(poked.peek_word(a_net), driven.peek_word(a_net));
     }
 
     /// Deactivated lanes stop contributing toggles.

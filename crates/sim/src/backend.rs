@@ -1,20 +1,28 @@
 //! The [`SimBackend`] abstraction: one trait over every cycle-accurate
 //! simulation backend.
 //!
-//! Two implementations exist:
+//! Three implementations exist:
 //!
 //! * [`crate::Simulator`] — the interpreted, levelized reference
 //!   implementation (1 lane);
-//! * `syndcim_engine::BatchSim` — the compiled bit-parallel engine
-//!   (up to 64 lanes packed into `u64` words).
+//! * `syndcim_engine::BatchSim` — the compiled bit-parallel engine on
+//!   `u64` lane words (up to 64 lanes);
+//! * `syndcim_engine::BatchSim256` — the same engine on `[u64; 4]` wide
+//!   words (up to 256 lanes), usually reached through
+//!   `syndcim_engine::EngineSim`, which auto-selects the width.
 //!
-//! The trait is *word-oriented*: every net carries one `u64` whose bit
-//! `l` is the logic value in lane `l`, where a lane is one independent
-//! simulation of the same module. A 1-lane backend simply uses bit 0.
-//! Per-net toggle counts aggregate transitions across all active lanes,
-//! so a 64-lane backend reports the same totals as 64 separate 1-lane
-//! runs over the same per-lane stimulus — the property the power
-//! analyzer and the engine differential tests rely on.
+//! The trait is *word-oriented*: lanes are independent simulations of
+//! the same module, packed 64 per `u64` word. A backend exposes
+//! [`SimBackend::words`] 64-lane words per net; the word-indexed
+//! accessors ([`SimBackend::poke_word_at`] / [`SimBackend::peek_word_at`])
+//! address lane `l` as bit `l % 64` of word `l / 64`. The unindexed
+//! [`SimBackend::poke_word`] / [`SimBackend::peek_word`] operate on word
+//! 0, which keeps every ≤64-lane caller unchanged; a 1-lane backend
+//! simply uses bit 0 of word 0. Per-net toggle counts aggregate
+//! transitions across all active lanes, so an L-lane backend reports the
+//! same totals as L separate 1-lane runs over the same per-lane stimulus
+//! — the property the power analyzer and the engine differential tests
+//! rely on.
 
 use syndcim_netlist::{InstId, Module, NetId};
 
@@ -23,15 +31,53 @@ pub trait SimBackend {
     /// Number of active simulation lanes (≥ 1).
     fn lanes(&self) -> usize;
 
+    /// Number of 64-lane words per net (`ceil(lanes / 64)`).
+    fn words(&self) -> usize {
+        self.lanes().div_ceil(64)
+    }
+
     /// The module being simulated.
     fn module(&self) -> &Module;
 
-    /// Drive a net with a word (bit `l` = value in lane `l`), counting
-    /// one toggle per lane whose value changes.
+    /// Drive word 0 of a net (bit `l` = value in lane `l`, lanes 0..64),
+    /// counting one toggle per lane whose value changes.
     fn poke_word(&mut self, net: NetId, word: u64);
 
-    /// Read a net's word.
+    /// Read word 0 of a net.
     fn peek_word(&self, net: NetId) -> u64;
+
+    /// Drive 64-lane word `word_idx` of a net (lane `word_idx*64 + b` is
+    /// bit `b`), counting one toggle per lane whose value changes.
+    /// Backends with a single word (the default) only accept index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx >= self.words()`.
+    fn poke_word_at(&mut self, net: NetId, word_idx: usize, word: u64) {
+        assert_eq!(word_idx, 0, "backend carries {} lane word(s)", self.words());
+        self.poke_word(net, word);
+    }
+
+    /// Read 64-lane word `word_idx` of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx >= self.words()`.
+    fn peek_word_at(&self, net: NetId, word_idx: usize) -> u64 {
+        assert_eq!(word_idx, 0, "backend carries {} lane word(s)", self.words());
+        self.peek_word(net)
+    }
+
+    /// Incremental-stimulus poke: drive 64-lane word `word_idx` of a net
+    /// only if it differs from the current value. Because toggle
+    /// accounting is `popcount(prev ^ next)`, re-driving an unchanged
+    /// word contributes nothing — skipping it is bit-identical and lets
+    /// measurement drivers avoid touching quiet input ports every cycle.
+    fn drive_word_at(&mut self, net: NetId, word_idx: usize, word: u64) {
+        if self.peek_word_at(net, word_idx) != word {
+            self.poke_word_at(net, word_idx, word);
+        }
+    }
 
     /// Settle the combinational logic (no clock edge).
     fn settle(&mut self);
@@ -39,11 +85,31 @@ pub trait SimBackend {
     /// Advance one clock cycle in every lane.
     fn step(&mut self);
 
-    /// Force the stored state of a sequential instance in every lane.
+    /// Force word 0 of the stored state of a sequential instance.
     fn force_state_word(&mut self, inst: InstId, word: u64);
 
-    /// Stored state of a sequential instance, one bit per lane.
+    /// Word 0 of the stored state of a sequential instance.
     fn state_word(&self, inst: InstId) -> u64;
+
+    /// Force 64-lane word `word_idx` of a sequential instance's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx >= self.words()`.
+    fn force_state_word_at(&mut self, inst: InstId, word_idx: usize, word: u64) {
+        assert_eq!(word_idx, 0, "backend carries {} lane word(s)", self.words());
+        self.force_state_word(inst, word);
+    }
+
+    /// 64-lane word `word_idx` of a sequential instance's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx >= self.words()`.
+    fn state_word_at(&self, inst: InstId, word_idx: usize) -> u64 {
+        assert_eq!(word_idx, 0, "backend carries {} lane word(s)", self.words());
+        self.state_word(inst)
+    }
 
     /// Total *lane-cycles* completed since the last
     /// [`SimBackend::reset_activity`]: each [`SimBackend::step`] adds
@@ -75,7 +141,10 @@ pub trait SimBackend {
     /// Set a port to the same value in every lane.
     fn set_all(&mut self, port: &str, value: bool) {
         let net = self.net_of(port);
-        self.poke_word(net, if value { !0 } else { 0 });
+        let word = if value { !0 } else { 0 };
+        for wi in 0..self.words() {
+            self.drive_word_at(net, wi, word);
+        }
     }
 
     /// Set one lane of a port, leaving other lanes unchanged.
@@ -86,9 +155,9 @@ pub trait SimBackend {
     fn set_lane(&mut self, port: &str, lane: usize, value: bool) {
         assert!(lane < self.lanes(), "lane {lane} out of range (backend has {} lanes)", self.lanes());
         let net = self.net_of(port);
-        let old = self.peek_word(net);
-        let bit = 1u64 << lane;
-        self.poke_word(net, if value { old | bit } else { old & !bit });
+        let old = self.peek_word_at(net, lane / 64);
+        let bit = 1u64 << (lane % 64);
+        self.poke_word_at(net, lane / 64, if value { old | bit } else { old & !bit });
     }
 
     /// Drive a bit-blasted bus with the same two's-complement value in
@@ -113,7 +182,7 @@ pub trait SimBackend {
     /// Panics if `lane` is not an active lane.
     fn get_lane(&self, port: &str, lane: usize) -> bool {
         assert!(lane < self.lanes(), "lane {lane} out of range (backend has {} lanes)", self.lanes());
-        (self.peek_word(self.net_of(port)) >> lane) & 1 == 1
+        (self.peek_word_at(self.net_of(port), lane / 64) >> (lane % 64)) & 1 == 1
     }
 
     /// Read one lane of a bit-blasted bus as an unsigned integer.
@@ -135,7 +204,10 @@ pub trait SimBackend {
     /// Force a sequential instance's state to the same value in every
     /// lane.
     fn force_state_all(&mut self, inst: InstId, value: bool) {
-        self.force_state_word(inst, if value { !0 } else { 0 });
+        let word = if value { !0 } else { 0 };
+        for wi in 0..self.words() {
+            self.force_state_word_at(inst, wi, word);
+        }
     }
 
     /// Stored state of a sequential instance in one lane.
@@ -145,7 +217,7 @@ pub trait SimBackend {
     /// Panics if `lane` is not an active lane.
     fn state_of_lane(&self, inst: InstId, lane: usize) -> bool {
         assert!(lane < self.lanes(), "lane {lane} out of range (backend has {} lanes)", self.lanes());
-        (self.state_word(inst) >> lane) & 1 == 1
+        (self.state_word_at(inst, lane / 64) >> (lane % 64)) & 1 == 1
     }
 
     /// Run `n` cycles.
