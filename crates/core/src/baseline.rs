@@ -15,7 +15,7 @@ pub enum BaselineKind {
     /// AutoDCIM-style template: 1T pass-gate mux sites, conventional
     /// signed-RCA adder trees, single fixed pipeline, no optimization.
     AutoDcimTemplate,
-    /// A compressor-only CSA template ([14]-style): efficient adders but
+    /// A compressor-only CSA template (\[14\]-style): efficient adders but
     /// still no performance-aware selection.
     CompressorTemplate,
     /// Full-adder Wallace template: fast but pays area/power everywhere.

@@ -109,6 +109,30 @@ impl Activity {
 /// Every channel output of every pass is compared against
 /// [`DcimChannelTrace`]; power comes from the observed toggles.
 ///
+/// ```
+/// use syndcim_core::{implement, measure_int, DesignChoice, MacroSpec};
+/// use syndcim_pdk::{CellLibrary, OperatingPoint};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = CellLibrary::syn40();
+/// let spec = MacroSpec {
+///     h: 8, w: 8, mcr: 2,
+///     int_precisions: vec![1, 2, 4], fp_precisions: vec![],
+///     f_mac_mhz: 400.0, f_wu_mhz: 400.0, vdd_v: 0.9,
+///     ppa: Default::default(),
+/// };
+/// let im = implement(&lib, &spec, &DesignChoice::default())?;
+/// // Two INT4 channels (8 / pa), three passes of 8 activations each.
+/// let weights = vec![vec![3, -2, 1, 0, -4, 5, 2, -1], vec![1; 8]];
+/// let passes = vec![vec![1; 8], vec![-3; 8], vec![7, -8, 0, 2, 1, -1, 4, 3]];
+/// let m = measure_int(&im, &lib, 4, &passes, &weights,
+///                     OperatingPoint::at_voltage(0.9), 400.0)?;
+/// assert_eq!(m.checked_outputs, 2 * 3); // every channel of every pass
+/// assert!(m.power.total_uw() > 0.0 && m.tops_per_w > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`CoreError::FunctionalMismatch`] if any output disagrees

@@ -5,12 +5,31 @@
 use syndcim_layout::{check_drc, extract_wires, place, FloorplanConfig, Placement, WireEstimates};
 use syndcim_netlist::{optimize, OptReport};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
-use syndcim_sta::{Sta, TimingReport, WireLoads};
+use syndcim_sta::{CompiledSta, Sta, TimingReport, WireLoads};
 
 use crate::assemble::{assemble, MacroNetlist};
 use crate::design::DesignChoice;
 use crate::error::CoreError;
 use crate::spec::MacroSpec;
+
+/// Which static timing analyzer a sign-off query runs on (the timing
+/// analogue of [`crate::eval::EvalBackend`]).
+///
+/// Both backends produce **bit-identical** reports — the compiled
+/// program replays the reference analyzer's arithmetic over
+/// struct-of-arrays buffers — so the choice is purely a speed/assurance
+/// trade: `Compiled` amortizes one lowering across the hundreds of
+/// `(V, f)` points a shmoo or search evaluates, `Reference` rebuilds
+/// and walks the timing graph per query exactly as the seed flow did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaBackend {
+    /// Engine-lowered [`CompiledSta`]: compile once per implemented
+    /// macro, one SoA pass per operating point (default).
+    #[default]
+    Compiled,
+    /// The reference graph-walking [`Sta`], rebuilt per query.
+    Reference,
+}
 
 /// A fully implemented macro: netlist + layout + post-layout timing.
 #[derive(Debug)]
@@ -27,6 +46,9 @@ pub struct ImplementedMacro {
     pub timing: TimingReport,
     /// The spec this macro implements.
     pub spec: MacroSpec,
+    /// The wire-annotated timing program compiled at sign-off, reused
+    /// by every later timing query (shmoo grids, `fmax` sweeps).
+    pub compiled_sta: CompiledSta,
 }
 
 impl ImplementedMacro {
@@ -35,26 +57,53 @@ impl ImplementedMacro {
         self.placement.die_area_mm2()
     }
 
-    /// Post-layout maximum frequency in MHz at an operating point.
-    pub fn fmax_mhz(&self, lib: &CellLibrary, op: OperatingPoint) -> f64 {
-        let sta =
-            Sta::new(&self.mac.module, lib).expect("implemented macros are well-formed").with_wire_loads(
-                WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() },
-            );
-        sta.fmax_mhz(op)
+    /// Build the reference analyzer over this macro's netlist and
+    /// extracted wires (the seed's per-query path).
+    fn reference_sta<'a>(&'a self, lib: &'a CellLibrary) -> Sta<'a> {
+        Sta::new(&self.mac.module, lib).expect("implemented macros are well-formed").with_wire_loads(
+            WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() },
+        )
     }
 
-    /// Post-layout timing report at an arbitrary period/corner.
+    /// Post-layout maximum frequency in MHz at an operating point
+    /// (compiled fast path; see [`ImplementedMacro::fmax_mhz_with`]).
+    pub fn fmax_mhz(&self, lib: &CellLibrary, op: OperatingPoint) -> f64 {
+        self.fmax_mhz_with(lib, op, StaBackend::default())
+    }
+
+    /// [`ImplementedMacro::fmax_mhz`] on an explicit STA backend. Both
+    /// backends return bit-identical values.
+    pub fn fmax_mhz_with(&self, lib: &CellLibrary, op: OperatingPoint, backend: StaBackend) -> f64 {
+        match backend {
+            StaBackend::Compiled => self.compiled_sta.fmax_mhz(op),
+            StaBackend::Reference => self.reference_sta(lib).fmax_mhz(op),
+        }
+    }
+
+    /// Post-layout timing report at an arbitrary period/corner
+    /// (compiled fast path).
     pub fn timing_at(&self, lib: &CellLibrary, period_ps: f64, op: OperatingPoint) -> TimingReport {
-        let sta =
-            Sta::new(&self.mac.module, lib).expect("implemented macros are well-formed").with_wire_loads(
-                WireLoads { cap_ff: self.wires.cap_ff.clone(), delay_ps: self.wires.delay_ps.clone() },
-            );
-        sta.analyze_at(period_ps, op)
+        self.timing_at_with(lib, period_ps, op, StaBackend::default())
+    }
+
+    /// [`ImplementedMacro::timing_at`] on an explicit STA backend.
+    pub fn timing_at_with(
+        &self,
+        lib: &CellLibrary,
+        period_ps: f64,
+        op: OperatingPoint,
+        backend: StaBackend,
+    ) -> TimingReport {
+        match backend {
+            StaBackend::Compiled => self.compiled_sta.analyze_at(period_ps, op),
+            StaBackend::Reference => self.reference_sta(lib).analyze_at(period_ps, op),
+        }
     }
 }
 
-/// Run the full implementation flow for one design choice.
+/// Run the full implementation flow for one design choice, signing off
+/// timing on the compiled STA (see [`implement_with`] for backend
+/// selection).
 ///
 /// # Errors
 ///
@@ -64,6 +113,27 @@ pub fn implement(
     lib: &CellLibrary,
     spec: &MacroSpec,
     choice: &DesignChoice,
+) -> Result<ImplementedMacro, CoreError> {
+    implement_with(lib, spec, choice, StaBackend::default())
+}
+
+/// [`implement`] with an explicit sign-off STA backend.
+///
+/// The compiled timing program is built either way (it is part of the
+/// returned macro); `backend` selects which analyzer produces the
+/// recorded sign-off [`TimingReport`]. The two are bit-identical — the
+/// knob exists so differential tests and paranoid sign-off runs can pin
+/// the fast path against the reference.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the spec is invalid, the netlist fails
+/// validation, or the layout violates design rules.
+pub fn implement_with(
+    lib: &CellLibrary,
+    spec: &MacroSpec,
+    choice: &DesignChoice,
+    backend: StaBackend,
 ) -> Result<ImplementedMacro, CoreError> {
     spec.validate()?;
     let mut mac = assemble(lib, spec, choice);
@@ -77,12 +147,19 @@ pub fn implement(
     check_drc(&mac.module, &placement)?;
     let wires = extract_wires(&mac.module, lib, &placement)?;
 
-    // Post-layout sign-off at the spec corner.
+    // Post-layout sign-off at the spec corner: lower the wire-annotated
+    // analyzer once; the compiled program stays with the macro so shmoo
+    // grids and fmax sweeps never re-walk the netlist.
     let sta = Sta::new(&mac.module, lib)?
         .with_wire_loads(WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() });
-    let timing = sta.analyze_at(spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
+    let compiled_sta = sta.compile();
+    let (period, op) = (spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
+    let timing = match backend {
+        StaBackend::Compiled => compiled_sta.analyze_at(period, op),
+        StaBackend::Reference => sta.analyze_at(period, op),
+    };
 
-    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone() })
+    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone(), compiled_sta })
 }
 
 #[cfg(test)]
@@ -123,6 +200,32 @@ mod tests {
         let pre = Sta::new(&im.mac.module, &lib).unwrap().analyze(1e6).max_delay_ps;
         let post = im.timing_at(&lib, 1e6, OperatingPoint::at_voltage(0.9)).max_delay_ps;
         assert!(post > pre, "wires must add delay: pre={pre} post={post}");
+    }
+
+    /// Compiled and reference sign-off must record bit-identical
+    /// timing, and the per-query helpers must agree across backends.
+    #[test]
+    fn sta_backends_sign_off_identically() {
+        let lib = CellLibrary::syn40();
+        let compiled = implement(&lib, &tiny_spec(), &DesignChoice::default()).unwrap();
+        let reference =
+            implement_with(&lib, &tiny_spec(), &DesignChoice::default(), StaBackend::Reference).unwrap();
+        assert_eq!(compiled.timing.max_delay_ps, reference.timing.max_delay_ps);
+        assert_eq!(compiled.timing.wns_ps, reference.timing.wns_ps);
+        assert_eq!(compiled.timing.arrival_ps, reference.timing.arrival_ps);
+        assert_eq!(compiled.timing.critical_path, reference.timing.critical_path);
+        for v in [0.7, 0.9, 1.2] {
+            let op = OperatingPoint::at_voltage(v);
+            assert_eq!(
+                compiled.fmax_mhz(&lib, op),
+                compiled.fmax_mhz_with(&lib, op, StaBackend::Reference),
+                "fmax backends must be bit-identical at {v} V"
+            );
+            let fast = compiled.timing_at(&lib, 1_000.0, op);
+            let slow = compiled.timing_at_with(&lib, 1_000.0, op, StaBackend::Reference);
+            assert_eq!(fast.max_delay_ps, slow.max_delay_ps);
+            assert_eq!(fast.critical_path, slow.critical_path);
+        }
     }
 
     #[test]

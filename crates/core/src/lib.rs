@@ -7,14 +7,14 @@
 //!
 //! 1. characterizes candidate subcircuits into the SCL
 //!    (`syndcim_scl`),
-//! 2. runs the heuristic hierarchical [`search`] (Algorithm 1) —
+//! 2. runs the heuristic hierarchical [`search()`] (Algorithm 1) —
 //!    adder-ladder climbing, retiming, column splitting, OFU
 //!    pipelining, register pruning, power/area fine-tuning — to produce
 //!    a Pareto frontier of [`DesignPoint`]s,
 //! 3. [`implement`]s a selected point through assembly, netlist
 //!    cleanup, SDP placement, DRC and parasitic extraction, and
 //! 4. signs off with post-layout STA, golden-model-checked simulation
-//!    ([`eval`]), [`shmoo`] analysis and comparison against
+//!    ([`eval`]), [`shmoo()`] analysis and comparison against
 //!    [`published`] references.
 //!
 //! ```no_run
@@ -32,6 +32,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod arithmetic_support;
 pub mod assemble;
@@ -55,8 +57,8 @@ pub use eval::{
     measure_weight_update_patterns, measure_weight_update_with, EvalBackend, MacMeasurement,
     WeightUpdateMeasurement, DEFAULT_WU_PATTERNS,
 };
-pub use flow::{implement, ImplementedMacro};
+pub use flow::{implement, implement_with, ImplementedMacro, StaBackend};
 pub use pareto::pareto_frontier;
 pub use search::{search, SearchResult};
-pub use shmoo::{shmoo, shmoo_with_power, PowerShmoo, Shmoo};
+pub use shmoo::{shmoo, shmoo_with, shmoo_with_power, shmoo_with_power_on, PowerShmoo, Shmoo};
 pub use spec::{MacroSpec, PpaWeights, SpecError};

@@ -11,7 +11,7 @@ use syndcim_power::PowerAnalyzer;
 
 use crate::error::CoreError;
 use crate::eval::{int_activity, EvalBackend};
-use crate::flow::ImplementedMacro;
+use crate::flow::{ImplementedMacro, StaBackend};
 
 /// Minimum supply for reliable bitcell operation (read/write margin),
 /// in volts.
@@ -55,21 +55,56 @@ impl Shmoo {
     }
 }
 
-/// Sweep the shmoo grid for `im`.
+/// Sweep the shmoo grid for `im` on the compiled STA (the macro's
+/// timing program evaluates every functional voltage in one batch).
 pub fn shmoo(im: &ImplementedMacro, lib: &CellLibrary, voltages: &[f64], freqs_mhz: &[f64]) -> Shmoo {
-    let mut pass = Vec::with_capacity(voltages.len());
-    for &v in voltages {
-        let mut row = Vec::with_capacity(freqs_mhz.len());
-        if v < V_MIN_FUNCTIONAL {
-            row.resize(freqs_mhz.len(), false);
-        } else {
-            let fmax = im.fmax_mhz(lib, OperatingPoint::at_voltage(v));
-            for &f in freqs_mhz {
-                row.push(f <= fmax);
-            }
+    shmoo_with(im, lib, voltages, freqs_mhz, StaBackend::default())
+}
+
+/// [`shmoo`] on an explicit STA backend.
+///
+/// `Compiled` resolves the whole voltage axis with
+/// [`syndcim_sta::CompiledSta::fmax_many`] on the macro's cached timing
+/// program; `Reference` rebuilds and walks the reference analyzer per
+/// voltage (the seed behaviour). The two grids are identical — pinned
+/// by the shmoo regression tests.
+pub fn shmoo_with(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    voltages: &[f64],
+    freqs_mhz: &[f64],
+    backend: StaBackend,
+) -> Shmoo {
+    // `fmax` per voltage; `None` below the bitcell retention limit.
+    let fmaxes: Vec<Option<f64>> = match backend {
+        StaBackend::Compiled => {
+            let ops: Vec<OperatingPoint> = voltages
+                .iter()
+                .filter(|&&v| v >= V_MIN_FUNCTIONAL)
+                .map(|&v| OperatingPoint::at_voltage(v))
+                .collect();
+            let mut batch = im.compiled_sta.fmax_many(&ops).into_iter();
+            voltages
+                .iter()
+                .map(|&v| (v >= V_MIN_FUNCTIONAL).then(|| batch.next().expect("one fmax per op")))
+                .collect()
         }
-        pass.push(row);
-    }
+        StaBackend::Reference => voltages
+            .iter()
+            .map(|&v| {
+                (v >= V_MIN_FUNCTIONAL)
+                    .then(|| im.fmax_mhz_with(lib, OperatingPoint::at_voltage(v), StaBackend::Reference))
+            })
+            .collect(),
+    };
+
+    let pass = fmaxes
+        .iter()
+        .map(|fmax| match fmax {
+            None => vec![false; freqs_mhz.len()],
+            Some(fmax) => freqs_mhz.iter().map(|&f| f <= *fmax).collect(),
+        })
+        .collect();
     Shmoo { voltages: voltages.to_vec(), freqs_mhz: freqs_mhz.to_vec(), pass }
 }
 
@@ -106,7 +141,30 @@ pub fn shmoo_with_power(
     passes: &[Vec<i64>],
     weights: &[Vec<i64>],
 ) -> Result<PowerShmoo, CoreError> {
-    let grid = shmoo(im, lib, voltages, freqs_mhz);
+    shmoo_with_power_on(im, lib, voltages, freqs_mhz, pa, passes, weights, StaBackend::default())
+}
+
+/// [`shmoo_with_power`] with an explicit STA backend for the pass/fail
+/// grid (activity measurement stays on the simulation engine either
+/// way). Exists so regression tests can pin the compiled grid — pass
+/// map *and* annotated power — against the reference analyzer.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FunctionalMismatch`] if the workload fails its
+/// golden-model check.
+#[allow(clippy::too_many_arguments)]
+pub fn shmoo_with_power_on(
+    im: &ImplementedMacro,
+    lib: &CellLibrary,
+    voltages: &[f64],
+    freqs_mhz: &[f64],
+    pa: u32,
+    passes: &[Vec<i64>],
+    weights: &[Vec<i64>],
+    sta: StaBackend,
+) -> Result<PowerShmoo, CoreError> {
+    let grid = shmoo_with(im, lib, voltages, freqs_mhz, sta);
     let activity = int_activity(&im.mac, lib, pa, passes, weights, EvalBackend::Engine)?;
     let analyzer = PowerAnalyzer::with_wire_caps(&im.mac.module, lib, &im.wires.cap_ff)?;
     let power_uw = grid
@@ -208,6 +266,33 @@ mod tests {
         let p_high_f = ps.power_uw[1][1].unwrap();
         let p_high_v = ps.power_uw[2][0].unwrap();
         assert!(p_high_f > p_low && p_high_v > p_low);
+    }
+
+    /// Satellite regression: the compiled-STA shmoo must reproduce the
+    /// reference analyzer's pass/fail map and annotated power exactly —
+    /// same grid, same power at every passing point, over a grid dense
+    /// enough to cross the retention limit and the timing wall.
+    #[test]
+    fn compiled_and_reference_shmoo_agree_on_pass_map_and_power() {
+        use syndcim_sim::vectors::{random_ints, seeded_rng};
+        let (im, lib) = implemented();
+        let vs = [0.5, 0.58, 0.65, 0.8, 0.9, 1.05, 1.2];
+        let fs = [50.0, 150.0, 400.0, 900.0, 1500.0, 3000.0];
+
+        let fast = shmoo(&im, &lib, &vs, &fs);
+        let slow = shmoo_with(&im, &lib, &vs, &fs, StaBackend::Reference);
+        assert_eq!(fast.pass, slow.pass, "pass/fail maps must be identical");
+        assert_eq!(fast.voltages, slow.voltages);
+        assert_eq!(fast.freqs_mhz, slow.freqs_mhz);
+
+        let mut rng = seeded_rng(47);
+        let weights: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let passes: Vec<Vec<i64>> = (0..3).map(|_| random_ints(&mut rng, 8, 4)).collect();
+        let fast_p = shmoo_with_power(&im, &lib, &vs, &fs, 4, &passes, &weights).unwrap();
+        let slow_p =
+            shmoo_with_power_on(&im, &lib, &vs, &fs, 4, &passes, &weights, StaBackend::Reference).unwrap();
+        assert_eq!(fast_p.shmoo.pass, slow_p.shmoo.pass);
+        assert_eq!(fast_p.power_uw, slow_p.power_uw, "annotated power must be identical per point");
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Netlist → [`Program`] compilation.
 //!
-//! Validates connectivity, levelizes the combinational instances (the
-//! same `syndcim_netlist::levelize` pass the interpreter uses, so both
-//! backends agree on evaluation semantics), then lowers every cell's
-//! [`CellFunction`] into AND/OR/XOR/NOT/MUX/CONST micro-ops over dense
-//! slots. Multi-op lowerings route intermediate values through scratch
-//! slots so only real net slots ever enter toggle accounting.
+//! The shared [`Lowering`] pass validates connectivity and levelizes
+//! the combinational instances (the same `syndcim_netlist::levelize`
+//! order the interpreter uses, so both backends agree on evaluation
+//! semantics); this module then lowers every cell's [`CellFunction`]
+//! into AND/OR/XOR/NOT/MUX/CONST micro-ops over dense slots. Multi-op
+//! lowerings route intermediate values through scratch slots so only
+//! real net slots ever enter toggle accounting. The compiled timing
+//! program in `syndcim-sta` consumes the same [`Lowering`], emitting
+//! delay arcs where this module emits boolean ops.
 
-use syndcim_netlist::{levelize, validate, Connectivity, Module, NetlistError};
+use syndcim_netlist::{Module, NetlistError};
 use syndcim_pdk::{CellFunction, CellLibrary};
 
+use crate::lowering::Lowering;
 use crate::program::{Commit, Op, Program, SCRATCH_SLOTS};
 
 impl Program {
@@ -21,15 +25,22 @@ impl Program {
     /// multiple drivers) or contains a combinational loop — the same
     /// conditions under which the interpreter refuses the module.
     pub fn compile(module: &Module, lib: &CellLibrary) -> Result<Program, NetlistError> {
-        let conn = Connectivity::build(module)?;
-        validate(module, &conn)?;
-        let order = levelize(module, lib, &conn)?;
+        let low = Lowering::validated(module, lib)?;
+        Ok(Self::from_lowering(&low, module, lib))
+    }
 
-        let net_count = module.net_count();
+    /// Lower an already-traversed module into a simulation program.
+    ///
+    /// This is the back half of [`Program::compile`]: callers that
+    /// already hold a [`Lowering`] (for example to also build a compiled
+    /// timing program from the same traversal) skip re-levelizing the
+    /// netlist.
+    pub fn from_lowering(low: &Lowering, module: &Module, lib: &CellLibrary) -> Program {
+        let net_count = low.net_count();
         let scratch = net_count as u32;
         let mut ops = Vec::new();
 
-        for id in order {
+        for &id in low.order() {
             let inst = &module.instances[id.index()];
             let cell = lib.cell(inst.cell);
             let i = |pin: usize| inst.inputs[pin].index() as u32;
@@ -118,7 +129,7 @@ impl Program {
             commits.push(Commit { update: seq.update, in0, in1, q: inst.outputs[0].index() as u32 });
         }
 
-        Ok(Program { net_count, slot_count: net_count + SCRATCH_SLOTS, ops, commits, seq_of_inst })
+        Program { net_count, slot_count: net_count + SCRATCH_SLOTS, ops, commits, seq_of_inst }
     }
 }
 

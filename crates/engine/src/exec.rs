@@ -292,6 +292,33 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
 /// Width-selecting engine executor: [`BatchSim`] (`u64`) for up to 64
 /// lanes, [`BatchSim256`] (`[u64; 4]`) beyond — one type for callers
 /// that size their batches at run time.
+///
+/// ```
+/// use syndcim_engine::{EngineSim, Program};
+/// use syndcim_netlist::NetlistBuilder;
+/// use syndcim_pdk::CellLibrary;
+/// use syndcim_sim::SimBackend;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = CellLibrary::syn40();
+/// let mut b = NetlistBuilder::new("inv", &lib);
+/// let a = b.input("a");
+/// let y = b.not(a);
+/// b.output("y", y);
+/// let m = b.finish();
+/// let prog = Program::compile(&m, &lib)?;
+///
+/// // 100 lanes does not fit a u64, so the wide word is selected.
+/// let mut sim = EngineSim::new(&prog, &m, 100);
+/// assert!(matches!(sim, EngineSim::Wide(_)));
+/// let a_net = m.port("a").unwrap().net;
+/// sim.poke_word_at(a_net, 0, !0); // drive lanes 0..64 high
+/// sim.settle();
+/// assert!(!sim.get_lane("y", 3)); // inverted
+/// assert!(sim.get_lane("y", 99)); // lane 99 still low
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub enum EngineSim<'a> {
     /// `u64` lane word, 1..=64 lanes.

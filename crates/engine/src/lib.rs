@@ -17,7 +17,11 @@
 //!   width that fits a requested lane count;
 //! * [`parallel_map`] — scoped-thread batch runner for scaling beyond
 //!   one word across cores (one executor per worker, all sharing one
-//!   compiled [`Program`]).
+//!   compiled [`Program`]);
+//! * [`Lowering`] — the shared compilation front end (connectivity,
+//!   levelized order, dense net slots), also consumed by
+//!   `syndcim_sta`'s compiled timing program so both fast paths walk
+//!   the netlist exactly once and agree on slot assignment.
 //!
 //! Both backends implement [`syndcim_sim::SimBackend`]; the interpreter
 //! remains the bit-exact reference the engine is differentially tested
@@ -56,13 +60,17 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compile;
 pub mod exec;
+pub mod lowering;
 pub mod program;
 pub mod runner;
 pub mod word;
 
 pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
+pub use lowering::Lowering;
 pub use program::Program;
 pub use runner::{default_threads, parallel_map};
 pub use word::{LaneWord, W256};

@@ -1,0 +1,117 @@
+//! Shared netlist lowering: the traversal both compiled backends reuse.
+//!
+//! Lowering a module — building connectivity, levelizing the
+//! combinational instances and assigning every net a dense slot — is
+//! the part of compilation that is identical between the bit-parallel
+//! simulation [`Program`](crate::Program) and the compiled timing
+//! program in `syndcim-sta`. [`Lowering`] performs that traversal once
+//! and exposes the results, so downstream compilers only decide what to
+//! emit *per instance*, never how to walk the netlist.
+//!
+//! The slot assignment is deliberately trivial — slot `i` is net `i` —
+//! which keeps every per-net side table (toggle counts, arrival times,
+//! wire parasitics) directly indexable by [`NetId::index`] with no
+//! remapping step between backends.
+
+use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
+use syndcim_pdk::CellLibrary;
+
+/// The shared front half of netlist compilation: connectivity tables,
+/// the levelized combinational instance order and the dense net→slot
+/// map.
+///
+/// Build one with [`Lowering::new`] (tolerates unread floating nets,
+/// matching `syndcim_sta::Sta`) or [`Lowering::validated`] (additionally
+/// rejects read-but-undriven nets, matching the simulation backends).
+#[derive(Debug, Clone)]
+pub struct Lowering {
+    conn: Connectivity,
+    order: Vec<InstId>,
+    net_count: usize,
+}
+
+impl Lowering {
+    /// Lower `module`: build connectivity and levelize the combinational
+    /// instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a net has multiple drivers or the
+    /// combinational part of the design is cyclic.
+    pub fn new(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
+        let conn = Connectivity::build(module)?;
+        let order = levelize(module, lib, &conn)?;
+        Ok(Lowering { conn, order, net_count: module.net_count() })
+    }
+
+    /// Like [`Lowering::new`], but additionally rejects floating nets
+    /// that are read by an instance or output port — the contract the
+    /// simulation backends require.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as [`Lowering::new`],
+    /// plus [`NetlistError::FloatingNet`] for read-but-undriven nets.
+    pub fn validated(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
+        let low = Self::new(module, lib)?;
+        validate(module, &low.conn)?;
+        Ok(low)
+    }
+
+    /// Connectivity tables (drivers and sinks per net).
+    pub fn connectivity(&self) -> &Connectivity {
+        &self.conn
+    }
+
+    /// Levelized order of the combinational instances. Evaluating (or
+    /// propagating arrival times through) instances in this order needs
+    /// exactly one linear pass.
+    pub fn order(&self) -> &[InstId] {
+        &self.order
+    }
+
+    /// Number of real net slots (equals the module's net count).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Dense slot of a net. Slots are stable across backends: slot `i`
+    /// always mirrors net `i`.
+    pub fn slot(&self, net: NetId) -> u32 {
+        net.index() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::NetlistBuilder;
+
+    #[test]
+    fn lowering_orders_match_levelize() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", y);
+        let m = b.finish();
+        let low = Lowering::new(&m, &lib).unwrap();
+        let conn = Connectivity::build(&m).unwrap();
+        assert_eq!(low.order(), levelize(&m, &lib, &conn).unwrap());
+        assert_eq!(low.net_count(), m.net_count());
+        assert_eq!(low.slot(a), a.index() as u32);
+    }
+
+    #[test]
+    fn validated_rejects_floating_reads_but_new_tolerates_them() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("float", &lib);
+        let dangling = b.net("dangling");
+        let y = b.not(dangling);
+        b.output("y", y);
+        let m = b.finish();
+        assert!(Lowering::new(&m, &lib).is_ok(), "the STA contract tolerates unreached nets");
+        assert!(matches!(Lowering::validated(&m, &lib), Err(NetlistError::FloatingNet { .. })));
+    }
+}

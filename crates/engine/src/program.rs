@@ -6,7 +6,7 @@
 //! compatible with the interpreter and the power analyzer); slots
 //! `net_count..slot_count` are scratch registers reused by every
 //! multi-op cell lowering. Sequential cells contribute no combinational
-//! ops — they appear as [`Commit`] records executed once per clock
+//! ops — they appear as `Commit` records executed once per clock
 //! cycle.
 
 use syndcim_pdk::SeqUpdate;

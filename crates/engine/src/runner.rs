@@ -2,7 +2,7 @@
 //!
 //! The environment has no `rayon`, so this is a small scoped-thread
 //! work-stealing map: jobs are claimed off a shared atomic cursor and
-//! results land at their original indices. A [`Program`] is `Sync`, so
+//! results land at their original indices. A [`crate::Program`] is `Sync`, so
 //! every worker can run its own [`crate::BatchSim`] against the same
 //! compiled program — the intended pattern for sweeping thousands of
 //! vector batches across cores.

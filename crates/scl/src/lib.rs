@@ -374,7 +374,19 @@ fn characterize_module(
 
     let stats = NetlistStats::of(&module, lib);
     let sta = Sta::new(&module, lib).expect("generated subcircuits are well-formed");
-    let delay = sta.analyze(1e9).max_delay_ps;
+    // Delay rides the backend choice like energy does: the engine path
+    // lowers the analyzer and runs the compiled SoA pass (bit-identical
+    // to the reference walk, pinned by the `backends_agree` test), so
+    // the search ladder's timing gates are fed by compiled STA while
+    // `Scl::interpreted()` keeps the seed's reference analyzer. The
+    // one-shot compile costs about as much as the walk it replaces —
+    // accepted: records are cached per key, the DUTs are tiny next to
+    // their 512-sample energy characterization, and the search then
+    // gates exclusively on compiled-path numbers.
+    let delay = match backend {
+        SclBackend::Engine => sta.compile().analyze(1e9).max_delay_ps,
+        SclBackend::Interpreter => sta.analyze(1e9).max_delay_ps,
+    };
 
     let (toggles, lane_cycles) = match backend {
         SclBackend::Engine => engine_energy_activity(lib, &module, energy_cycles),

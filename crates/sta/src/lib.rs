@@ -37,8 +37,15 @@
 //! # }
 //! ```
 
-use syndcim_netlist::{levelize, Connectivity, InstId, Module, NetId, NetlistError, PortDir};
+#![warn(missing_docs)]
+
+use syndcim_engine::Lowering;
+use syndcim_netlist::{Connectivity, InstId, Module, NetId, NetlistError, PortDir};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
+
+pub mod compiled;
+
+pub use compiled::CompiledSta;
 
 /// Post-layout wire annotations, indexed by [`NetId::index`].
 #[derive(Debug, Clone, Default)]
@@ -107,12 +114,18 @@ impl TimingReport {
 }
 
 /// Static timing analyzer bound to one module.
+///
+/// `Sta` is the *reference* analyzer: a direct graph walk, kept simple
+/// and obviously correct. The engine-style fast path is obtained by
+/// lowering it once with [`Sta::compile`] into a [`CompiledSta`], which
+/// is differentially pinned to this implementation.
 #[derive(Debug)]
 pub struct Sta<'a> {
     module: &'a Module,
     lib: &'a CellLibrary,
-    conn: Connectivity,
-    order: Vec<InstId>,
+    /// Shared netlist lowering (connectivity + levelized order + dense
+    /// slots), reused by [`Sta::compile`].
+    low: Lowering,
     wires: WireLoads,
     /// Total load per net in fF (sink pins + port load + wire).
     load_ff: Vec<f64>,
@@ -128,14 +141,12 @@ impl<'a> Sta<'a> {
     /// Fails if the netlist has connectivity errors or combinational
     /// loops.
     pub fn new(module: &'a Module, lib: &'a CellLibrary) -> Result<Self, NetlistError> {
-        let conn = Connectivity::build(module)?;
-        let order = levelize(module, lib, &conn)?;
+        let low = Lowering::new(module, lib)?;
         let port_load_ff = 4.0 * lib.process().cin_unit_ff;
         let mut sta = Sta {
             module,
             lib,
-            conn,
-            order,
+            low,
             wires: WireLoads::zero(module.net_count()),
             load_ff: Vec::new(),
             port_load_ff,
@@ -207,7 +218,7 @@ impl<'a> Sta<'a> {
             }
         }
 
-        for &id in &self.order {
+        for &id in self.low.order() {
             let inst = &self.module.instances[id.index()];
             let cell = self.lib.cell(inst.cell);
             for arc in &cell.arcs {
@@ -320,13 +331,14 @@ impl<'a> Sta<'a> {
 
     /// Connectivity tables (shared with other consumers).
     pub fn connectivity(&self) -> &Connectivity {
-        &self.conn
+        self.low.connectivity()
     }
 
     /// Fanout count of the most-loaded net (diagnostics for driver
     /// sizing).
     pub fn max_fanout(&self) -> usize {
-        (0..self.module.net_count()).map(|i| self.conn.fanout(NetId(i as u32))).max().unwrap_or(0)
+        let conn = self.low.connectivity();
+        (0..self.module.net_count()).map(|i| conn.fanout(NetId(i as u32))).max().unwrap_or(0)
     }
 }
 

@@ -5,8 +5,8 @@
 //!
 //! | Subcircuit | Module | Variants |
 //! |---|---|---|
-//! | Memory cell | [`array`] | 6T+2T SRAM, 8T latch, 12T OAI |
-//! | Multiplier & multiplexer | [`array`] | 1T pass gate, TG+NOR, fused OAI22 |
+//! | Memory cell | [`mod@array`] | 6T+2T SRAM, 8T latch, 12T OAI |
+//! | Multiplier & multiplexer | [`mod@array`] | 1T pass gate, TG+NOR, fused OAI22 |
 //! | WL/BL driver | [`driver`] | fanout-sized buffer chains |
 //! | Adder tree | [`adder_tree`] | RCA baseline, pure 4-2 compressor CSA, mixed CSA (+ carry reorder, retimable final RCA) |
 //! | Shift & adder | [`shift_add`] | bit-serial shift-right accumulator |
