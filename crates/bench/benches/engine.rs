@@ -143,35 +143,21 @@ fn bench_engine(c: &mut Criterion) {
     });
     println!("search 16x16: cold {search_cold_ms:>9.1} ms   warm {search_warm_ms:>9.1} ms");
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"interpreter_vps\": {:.0},\n",
-            "  \"engine64_vps\": {:.0},\n",
-            "  \"engine256_vps\": {:.0},\n",
-            "  \"engine64_over_interpreter\": {:.2},\n",
-            "  \"engine256_over_engine64\": {:.3},\n",
-            "  \"scl_engine_ms\": {:.2},\n",
-            "  \"scl_interpreter_ms\": {:.2},\n",
-            "  \"scl_speedup\": {:.2},\n",
-            "  \"search_cold_ms\": {:.2},\n",
-            "  \"search_warm_ms\": {:.2}\n",
-            "}}\n"
-        ),
-        interp_vps,
-        engine64_vps,
-        engine256_vps,
-        ratio64,
-        wide_ratio,
-        scl_engine_ms,
-        scl_interp_ms,
-        scl_ratio,
-        search_cold_ms,
-        search_warm_ms,
+    syndcim_bench::merge_bench_artifact(
+        &["interpreter_", "engine", "scl_", "search_"],
+        &[
+            ("interpreter_vps", interp_vps),
+            ("engine64_vps", engine64_vps),
+            ("engine256_vps", engine256_vps),
+            ("engine64_over_interpreter", ratio64),
+            ("engine256_over_engine64", wide_ratio),
+            ("scl_engine_ms", scl_engine_ms),
+            ("scl_interpreter_ms", scl_interp_ms),
+            ("scl_speedup", scl_ratio),
+            ("search_cold_ms", search_cold_ms),
+            ("search_warm_ms", search_warm_ms),
+        ],
     );
-    let path = std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
-    std::fs::write(&path, &json).expect("write bench artifact");
-    println!("wrote {path}");
 
     assert!(ratio64 >= 10.0, "u64 engine must deliver >= 10x vector throughput, got {ratio64:.1}x");
     assert!(

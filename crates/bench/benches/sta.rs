@@ -110,44 +110,23 @@ fn bench_sta(c: &mut Criterion) {
     );
     println!("fmax_many(5 corners): {:>9.3} ms", fmax.ns_per_iter / 1e6);
 
-    write_artifact(&[
-        ("sta_shmoo_reference_ms", reference.ns_per_iter / 1e6),
-        ("sta_shmoo_compiled_ms", compiled.ns_per_iter / 1e6),
-        ("sta_shmoo_speedup", shmoo_ratio),
-        ("sta_compile_ms", compile_cost.ns_per_iter / 1e6),
-        ("sta_analyze_reference_ms", walk.ns_per_iter / 1e6),
-        ("sta_analyze_compiled_ms", soa.ns_per_iter / 1e6),
-        ("sta_analyze_speedup", analyze_ratio),
-    ]);
+    syndcim_bench::merge_bench_artifact(
+        &["sta_"],
+        &[
+            ("sta_shmoo_reference_ms", reference.ns_per_iter / 1e6),
+            ("sta_shmoo_compiled_ms", compiled.ns_per_iter / 1e6),
+            ("sta_shmoo_speedup", shmoo_ratio),
+            ("sta_compile_ms", compile_cost.ns_per_iter / 1e6),
+            ("sta_analyze_reference_ms", walk.ns_per_iter / 1e6),
+            ("sta_analyze_compiled_ms", soa.ns_per_iter / 1e6),
+            ("sta_analyze_speedup", analyze_ratio),
+        ],
+    );
 
     assert!(
         shmoo_ratio >= 5.0,
         "compiled STA must deliver >= 5x on a full shmoo grid, got {shmoo_ratio:.1}x"
     );
-}
-
-/// Merge the measured numbers into `BENCH_engine.json`: keep whatever
-/// the engine bench already wrote (dropping stale `sta_*` keys), append
-/// ours, rewrite the file.
-fn write_artifact(entries: &[(&str, f64)]) {
-    let path = std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
-    let mut lines: Vec<String> = std::fs::read_to_string(&path)
-        .map(|s| {
-            s.lines()
-                .filter(|l| {
-                    let l = l.trim();
-                    !l.is_empty() && l != "{" && l != "}" && !l.trim_start().starts_with("\"sta_")
-                })
-                .map(|l| l.trim_end().trim_end_matches(',').to_string())
-                .collect()
-        })
-        .unwrap_or_default();
-    for (key, value) in entries {
-        lines.push(format!("  \"{key}\": {value:.3}"));
-    }
-    let json = format!("{{\n{}\n}}\n", lines.join(",\n"));
-    std::fs::write(&path, json).expect("write bench artifact");
-    println!("wrote {path}");
 }
 
 criterion_group!(benches, bench_sta);

@@ -1,0 +1,112 @@
+//! `bench_diff` — compare a freshly measured `BENCH_engine.json`
+//! against the committed `BENCH_baseline.json` and print a per-key
+//! regression table.
+//!
+//! Seeds the ROADMAP "perf trajectory tracking" item: CI regenerates
+//! the bench artifact every run but until now nothing diffed
+//! consecutive numbers — regressions only surfaced when they crossed an
+//! in-bench ratio assert. This tool is **warn-only** (always exits 0):
+//! bench numbers on shared CI runners are noisy, so it flags drift for
+//! a human instead of failing the build.
+//!
+//! ```text
+//! cargo run --release -p syndcim-bench --bin bench_diff -- \
+//!     BENCH_baseline.json BENCH_engine.json
+//! ```
+//!
+//! Direction is inferred from the key name: `*_ms` keys are
+//! lower-is-better (times), `*_vps` / `*_speedup` / `*_over_*` keys are
+//! higher-is-better (throughputs and ratios). Regressions beyond
+//! [`WARN_THRESHOLD`] are marked `⚠ REGRESSED`; keys present on only
+//! one side are listed as added/removed.
+
+use syndcim_bench::parse_bench_artifact;
+
+/// Relative change beyond which a key is flagged as regressed.
+const WARN_THRESHOLD: f64 = 0.10;
+
+/// `true` when a larger value of `key` is better.
+fn higher_is_better(key: &str) -> bool {
+    key.ends_with("_vps") || key.ends_with("_speedup") || key.contains("_over_")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_engine.json".into());
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => parse_bench_artifact(&s),
+        Err(e) => {
+            println!("bench_diff: no baseline at {baseline_path} ({e}) — nothing to compare, exiting 0");
+            return;
+        }
+    };
+    let fresh = match std::fs::read_to_string(&fresh_path) {
+        Ok(s) => parse_bench_artifact(&s),
+        Err(e) => {
+            println!("bench_diff: no fresh artifact at {fresh_path} ({e}) — nothing to compare, exiting 0");
+            return;
+        }
+    };
+
+    println!(
+        "bench_diff: {baseline_path} (baseline) vs {fresh_path} (fresh), warn at ±{:.0}%",
+        WARN_THRESHOLD * 100.0
+    );
+    println!("{:<38} {:>12} {:>12} {:>9}  verdict", "key", "baseline", "fresh", "delta");
+    let mut regressions = 0usize;
+    for (key, &base) in &baseline {
+        let Some(&now) = fresh.get(key) else {
+            println!("{key:<38} {base:>12.3} {:>12} {:>9}  (removed)", "-", "-");
+            continue;
+        };
+        let delta = if base != 0.0 { (now - base) / base } else { 0.0 };
+        // Improvement direction depends on what the key measures.
+        let regressed = if higher_is_better(key) { delta < -WARN_THRESHOLD } else { delta > WARN_THRESHOLD };
+        let verdict = if regressed {
+            regressions += 1;
+            "⚠ REGRESSED"
+        } else if delta.abs() <= WARN_THRESHOLD {
+            "ok"
+        } else {
+            "improved"
+        };
+        println!("{key:<38} {base:>12.3} {now:>12.3} {:>+8.1}%  {verdict}", delta * 100.0);
+    }
+    for key in fresh.keys().filter(|k| !baseline.contains_key(*k)) {
+        println!("{key:<38} {:>12} {:>12.3} {:>9}  (new key)", "-", fresh[key], "-");
+    }
+
+    if regressions > 0 {
+        println!(
+            "bench_diff: {regressions} key(s) regressed beyond {:.0}% — warn-only, not failing the build; \
+             refresh BENCH_baseline.json if the change is intentional",
+            WARN_THRESHOLD * 100.0
+        );
+    } else {
+        println!("bench_diff: no regressions beyond {:.0}%", WARN_THRESHOLD * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_artifact_format() {
+        let text = "{\n  \"engine64_vps\": 123456,\n  \"sta_shmoo_compiled_ms\": 1.5,\n}\n";
+        let m = parse_bench_artifact(text);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["engine64_vps"], 123456.0);
+        assert_eq!(m["sta_shmoo_compiled_ms"], 1.5);
+    }
+
+    #[test]
+    fn direction_inference() {
+        assert!(higher_is_better("engine64_vps"));
+        assert!(higher_is_better("power_shmoo_speedup"));
+        assert!(higher_is_better("engine64_over_interpreter"));
+        assert!(!higher_is_better("scl_engine_ms"));
+    }
+}

@@ -18,10 +18,18 @@
 //!   `syndcim_sim::Simulator`, running passes sequentially exactly as
 //!   the original sign-off flow did.
 //!
-//! Outputs are golden-model-checked in both backends, so a functional
-//! divergence between them can never go unnoticed.
+//! The backend choice carries through to power conversion: the engine
+//! arm reports through the macro's compiled power program (built at
+//! `implement` from the shared lowering), the interpreter arm through
+//! the reference `PowerAnalyzer` rebuilt per call — two genuinely
+//! independent measurement pipelines, end to end.
+//!
+//! Outputs are golden-model-checked in both backends and the derived
+//! measurements are bit-identical (pinned by the backend-agreement
+//! tests), so a divergence between the pipelines can never go
+//! unnoticed.
 
-use syndcim_engine::{default_threads, parallel_map, EngineSim, Program};
+use syndcim_engine::{default_threads, parallel_map, EngineSim};
 use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
@@ -178,25 +186,29 @@ pub fn measure_int_with(
     assert!(weights.iter().all(|w| w.len() == mac.h));
     assert!(passes.iter().all(|a| a.len() == mac.h));
 
-    let activity = int_activity(mac, lib, pa, passes, weights, backend)?;
-    let measurement = finish_measurement(im, lib, &activity, pa, pa, op, f_mhz);
+    let activity = int_activity(im, lib, pa, passes, weights, backend)?;
+    let measurement = finish_measurement(im, lib, &activity, pa, pa, op, f_mhz, backend);
     Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
 }
 
 /// Run the INT workload on the chosen backend and return its activity.
+/// The engine backend executes the simulation program the macro has
+/// carried since `implement` (compiled from the shared lowering) — no
+/// per-call netlist walk.
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatches (wrong vector lengths, `pa` larger
 /// than the macro supports) — the same contract as [`measure_int`].
 pub(crate) fn int_activity(
-    mac: &MacroNetlist,
+    im: &ImplementedMacro,
     lib: &CellLibrary,
     pa: u32,
     passes: &[Vec<i64>],
     weights: &[Vec<i64>],
     backend: EvalBackend,
 ) -> Result<Activity, CoreError> {
+    let mac = &im.mac;
     assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
     assert_eq!(weights.len(), mac.w / pa as usize, "need one weight vector per channel");
     assert!(weights.iter().all(|w| w.len() == mac.h), "weight vectors must have H entries");
@@ -225,10 +237,10 @@ pub(crate) fn int_activity(
             merge_activities(mac, results)
         }
         EvalBackend::Engine => {
-            let prog = Program::compile(&mac.module, lib)?;
+            let prog = &im.compiled.program;
             let chunks: Vec<&[Vec<i64>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = EngineSim::new(&prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::new(prog, &mac.module, chunk.len());
                 setup_int(&mut sim, mac, pa, weights);
                 run_pass_lanes(&mut sim, mac, pa, chunk);
                 let checked = check_channels(&sim, mac, pa, pa, chunk, &golden)?;
@@ -358,10 +370,10 @@ pub fn measure_fp_with(
             merge_activities(mac, results)?
         }
         EvalBackend::Engine => {
-            let prog = Program::compile(&mac.module, lib)?;
+            let prog = &im.compiled.program;
             let chunks: Vec<&[Vec<FpValue>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = EngineSim::new(&prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::new(prog, &mac.module, chunk.len());
                 setup_fp(&mut sim, mac, pw, &aligned_w);
                 run_chunk(&mut sim, chunk)
             });
@@ -369,7 +381,7 @@ pub fn measure_fp_with(
         }
     };
 
-    let measurement = finish_measurement(im, lib, &activity, pa, pw, op, f_mhz);
+    let measurement = finish_measurement(im, lib, &activity, pa, pw, op, f_mhz, backend);
     Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
 }
 
@@ -469,19 +481,30 @@ pub fn measure_weight_update_patterns(
             acts
         }
         EvalBackend::Engine => {
-            let prog = Program::compile(&mac.module, lib)?;
-            let mut sim = EngineSim::new(&prog, &mac.module, patterns);
+            let mut sim = EngineSim::new(&im.compiled.program, &mac.module, patterns);
             sim.enable_lane_toggles();
             run_weight_update_lanes(&mut sim, mac, seed, patterns)?
         }
     };
 
-    let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)?;
     let bits = mac.w * mac.h * mac.mcr;
+    // The engine arm rides the macro's compiled power program (wire
+    // caps baked at implement time); the interpreter arm keeps the
+    // seed's reference analyzer so the backend knob exercises two
+    // genuinely independent power paths — bit-identical by the
+    // differential pinning, cross-checked by the backend-agreement
+    // tests below.
+    let reference_pa = match backend {
+        EvalBackend::Engine => None,
+        EvalBackend::Interpreter => Some(PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)?),
+    };
     let energies: Vec<f64> = per_pattern
         .iter()
         .map(|a| {
-            let power = analyzer.from_activity(&a.toggles, a.lane_cycles, f_mhz, op);
+            let power = match &reference_pa {
+                None => im.compiled.power.report(&a.toggles, a.lane_cycles, f_mhz, op),
+                Some(pa) => pa.from_activity(&a.toggles, a.lane_cycles, f_mhz, op),
+            };
             power.energy_per_cycle_pj * 1000.0 * a.lane_cycles as f64 / bits as f64
         })
         .collect();
@@ -768,6 +791,7 @@ fn read_channel_lane(
     raw >> scale_shift
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_measurement(
     im: &ImplementedMacro,
     lib: &CellLibrary,
@@ -776,13 +800,23 @@ fn finish_measurement(
     pw: u32,
     op: OperatingPoint,
     f_mhz: f64,
+    backend: EvalBackend,
 ) -> MacMeasurement {
     let mac = &im.mac;
     let pa_prec = Precision::Int(pa);
     let pw_prec = Precision::Int(pw);
-    let analyzer = PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)
-        .expect("implemented macros are well-formed");
-    let power = analyzer.from_activity(&activity.toggles, activity.lane_cycles.max(1), f_mhz, op);
+    // Engine backend: one linear pass on the macro's compiled power
+    // program (wire caps baked at implement time). Interpreter backend:
+    // the seed's reference analyzer, rebuilt per call — keeping the
+    // two measurement arms independent end to end (sim *and* power),
+    // bit-identical by the differential pinning.
+    let cycles = activity.lane_cycles.max(1);
+    let power = match backend {
+        EvalBackend::Engine => im.compiled.power.report(&activity.toggles, cycles, f_mhz, op),
+        EvalBackend::Interpreter => PowerAnalyzer::with_wire_caps(&mac.module, lib, &im.wires.cap_ff)
+            .expect("implemented macros are well-formed")
+            .from_activity(&activity.toggles, cycles, f_mhz, op),
+    };
 
     let tput = MacThroughput { h: mac.h, w: mac.w, act: pa_prec, weight: pw_prec };
     let tops = tput.tops(f_mhz);
@@ -871,8 +905,8 @@ mod tests {
 
         // Both backends run each pass as an independent vector sample
         // from the quiesced state → bit-identical activity.
-        let eng = int_activity(&im.mac, &lib, 4, &passes, &weights, EvalBackend::Engine).unwrap();
-        let itp = int_activity(&im.mac, &lib, 4, &passes, &weights, EvalBackend::Interpreter).unwrap();
+        let eng = int_activity(&im, &lib, 4, &passes, &weights, EvalBackend::Engine).unwrap();
+        let itp = int_activity(&im, &lib, 4, &passes, &weights, EvalBackend::Interpreter).unwrap();
         assert_eq!(eng.checked, itp.checked);
         assert_eq!(eng.lane_cycles, itp.lane_cycles);
         assert_eq!(eng.toggles, itp.toggles, "per-net toggle counts must be bit-identical");

@@ -5,9 +5,10 @@
 use syndcim_layout::{check_drc, extract_wires, place, FloorplanConfig, Placement, WireEstimates};
 use syndcim_netlist::{optimize, OptReport};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
-use syndcim_sta::{CompiledSta, Sta, TimingReport, WireLoads};
+use syndcim_sta::{Sta, TimingReport, WireLoads};
 
 use crate::assemble::{assemble, MacroNetlist};
+use crate::compiled::CompiledMacro;
 use crate::design::DesignChoice;
 use crate::error::CoreError;
 use crate::spec::MacroSpec;
@@ -23,11 +24,35 @@ use crate::spec::MacroSpec;
 /// and walks the timing graph per query exactly as the seed flow did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StaBackend {
-    /// Engine-lowered [`CompiledSta`]: compile once per implemented
-    /// macro, one SoA pass per operating point (default).
+    /// Engine-lowered [`syndcim_sta::CompiledSta`]: compile once per
+    /// implemented macro, one SoA pass per operating point (default).
     #[default]
     Compiled,
     /// The reference graph-walking [`Sta`], rebuilt per query.
+    Reference,
+}
+
+/// Which power analyzer a sign-off query runs on (the power analogue of
+/// [`StaBackend`] and [`crate::eval::EvalBackend`], completing the
+/// compiled trinity).
+///
+/// Both backends produce **bit-identical** reports — the compiled
+/// program replays the reference analyzer's arithmetic over
+/// struct-of-arrays columns (pinned by
+/// `tests/power_compiled_differential.rs`) — so the choice is purely a
+/// speed/assurance trade: `Compiled` amortizes one lowering across the
+/// hundreds of `(V, f)` points a power shmoo evaluates, `Reference`
+/// rebuilds and walks the module per query exactly as the seed flow
+/// did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PowerBackend {
+    /// IR-lowered [`syndcim_power::CompiledPower`]: compile once per
+    /// implemented macro, one linear `toggles·column` pass per corner,
+    /// corners batched over shared rate columns (default).
+    #[default]
+    Compiled,
+    /// The reference module-walking [`syndcim_power::PowerAnalyzer`],
+    /// rebuilt per query.
     Reference,
 }
 
@@ -46,9 +71,12 @@ pub struct ImplementedMacro {
     pub timing: TimingReport,
     /// The spec this macro implements.
     pub spec: MacroSpec,
-    /// The wire-annotated timing program compiled at sign-off, reused
-    /// by every later timing query (shmoo grids, `fmax` sweeps).
-    pub compiled_sta: CompiledSta,
+    /// The compiled analysis bundle built at sign-off from **one**
+    /// netlist lowering: the simulation program, the wire-annotated
+    /// timing program and the wire-annotated power program, reused by
+    /// every later query (evaluation, shmoo grids, `fmax` sweeps,
+    /// power annotation).
+    pub compiled: CompiledMacro,
 }
 
 impl ImplementedMacro {
@@ -75,7 +103,7 @@ impl ImplementedMacro {
     /// backends return bit-identical values.
     pub fn fmax_mhz_with(&self, lib: &CellLibrary, op: OperatingPoint, backend: StaBackend) -> f64 {
         match backend {
-            StaBackend::Compiled => self.compiled_sta.fmax_mhz(op),
+            StaBackend::Compiled => self.compiled.sta.fmax_mhz(op),
             StaBackend::Reference => self.reference_sta(lib).fmax_mhz(op),
         }
     }
@@ -95,7 +123,7 @@ impl ImplementedMacro {
         backend: StaBackend,
     ) -> TimingReport {
         match backend {
-            StaBackend::Compiled => self.compiled_sta.analyze_at(period_ps, op),
+            StaBackend::Compiled => self.compiled.sta.analyze_at(period_ps, op),
             StaBackend::Reference => self.reference_sta(lib).analyze_at(period_ps, op),
         }
     }
@@ -119,7 +147,7 @@ pub fn implement(
 
 /// [`implement`] with an explicit sign-off STA backend.
 ///
-/// The compiled timing program is built either way (it is part of the
+/// The compiled analysis bundle is built either way (it is part of the
 /// returned macro); `backend` selects which analyzer produces the
 /// recorded sign-off [`TimingReport`]. The two are bit-identical — the
 /// knob exists so differential tests and paranoid sign-off runs can pin
@@ -148,18 +176,24 @@ pub fn implement_with(
     let wires = extract_wires(&mac.module, lib, &placement)?;
 
     // Post-layout sign-off at the spec corner: lower the wire-annotated
-    // analyzer once; the compiled program stays with the macro so shmoo
-    // grids and fmax sweeps never re-walk the netlist.
-    let sta = Sta::new(&mac.module, lib)?
-        .with_wire_loads(WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() });
-    let compiled_sta = sta.compile();
+    // netlist exactly once and compile all three analysis programs
+    // (simulation, timing, power) from that shared IR; the bundle stays
+    // with the macro so evaluation, shmoo grids, fmax sweeps and power
+    // annotation never re-walk the netlist.
+    let wire_loads = WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() };
+    let compiled = CompiledMacro::compile(&mac.module, lib, &wire_loads)?;
     let (period, op) = (spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
     let timing = match backend {
-        StaBackend::Compiled => compiled_sta.analyze_at(period, op),
-        StaBackend::Reference => sta.analyze_at(period, op),
+        StaBackend::Compiled => compiled.sta.analyze_at(period, op),
+        // The reference arm reuses the bundle's lowering (a clone is a
+        // memcpy, not a walk) so the one-lowering contract holds on
+        // both backends.
+        StaBackend::Reference => Sta::with_lowering(&mac.module, lib, compiled.lowering.clone())
+            .with_wire_loads(wire_loads)
+            .analyze_at(period, op),
     };
 
-    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone(), compiled_sta })
+    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone(), compiled })
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 pub mod arithmetic_support;
 pub mod assemble;
 pub mod baseline;
+pub mod compiled;
 pub mod design;
 pub mod error;
 pub mod eval;
@@ -50,6 +51,7 @@ pub mod spec;
 
 pub use assemble::{assemble, MacroNetlist};
 pub use baseline::BaselineKind;
+pub use compiled::CompiledMacro;
 pub use design::{DesignChoice, DesignPoint, PpaEstimate};
 pub use error::CoreError;
 pub use eval::{
@@ -57,7 +59,7 @@ pub use eval::{
     measure_weight_update_patterns, measure_weight_update_with, EvalBackend, MacMeasurement,
     WeightUpdateMeasurement, DEFAULT_WU_PATTERNS,
 };
-pub use flow::{implement, implement_with, ImplementedMacro, StaBackend};
+pub use flow::{implement, implement_with, ImplementedMacro, PowerBackend, StaBackend};
 pub use pareto::pareto_frontier;
 pub use search::{search, SearchResult};
 pub use shmoo::{shmoo, shmoo_with, shmoo_with_power, shmoo_with_power_on, PowerShmoo, Shmoo};

@@ -11,7 +11,7 @@ use syndcim_power::PowerAnalyzer;
 
 use crate::error::CoreError;
 use crate::eval::{int_activity, EvalBackend};
-use crate::flow::{ImplementedMacro, StaBackend};
+use crate::flow::{ImplementedMacro, PowerBackend, StaBackend};
 
 /// Minimum supply for reliable bitcell operation (read/write margin),
 /// in volts.
@@ -83,7 +83,7 @@ pub fn shmoo_with(
                 .filter(|&&v| v >= V_MIN_FUNCTIONAL)
                 .map(|&v| OperatingPoint::at_voltage(v))
                 .collect();
-            let mut batch = im.compiled_sta.fmax_many(&ops).into_iter();
+            let mut batch = im.compiled.sta.fmax_many(&ops).into_iter();
             voltages
                 .iter()
                 .map(|&v| (v >= V_MIN_FUNCTIONAL).then(|| batch.next().expect("one fmax per op")))
@@ -126,7 +126,10 @@ pub struct PowerShmoo {
 /// workload is simulated **once** on the compiled bit-parallel engine
 /// (all passes as parallel lanes) and the toggle counts are rescaled
 /// analytically across the grid — one simulation instead of one per
-/// grid point.
+/// grid point. The per-corner rescaling runs on the macro's compiled
+/// power program ([`syndcim_power::CompiledPower::report_many`]
+/// resolves every passing point in one batch over shared rate
+/// columns); see [`shmoo_with_power_on`] for backend selection.
 ///
 /// # Errors
 ///
@@ -141,13 +144,23 @@ pub fn shmoo_with_power(
     passes: &[Vec<i64>],
     weights: &[Vec<i64>],
 ) -> Result<PowerShmoo, CoreError> {
-    shmoo_with_power_on(im, lib, voltages, freqs_mhz, pa, passes, weights, StaBackend::default())
+    shmoo_with_power_on(
+        im,
+        lib,
+        voltages,
+        freqs_mhz,
+        pa,
+        passes,
+        weights,
+        StaBackend::default(),
+        PowerBackend::default(),
+    )
 }
 
-/// [`shmoo_with_power`] with an explicit STA backend for the pass/fail
-/// grid (activity measurement stays on the simulation engine either
-/// way). Exists so regression tests can pin the compiled grid — pass
-/// map *and* annotated power — against the reference analyzer.
+/// [`shmoo_with_power`] with explicit STA and power backends (activity
+/// measurement stays on the simulation engine either way). Exists so
+/// regression tests can pin the compiled grid — pass map *and*
+/// annotated power — against the reference analyzers.
 ///
 /// # Errors
 ///
@@ -163,32 +176,64 @@ pub fn shmoo_with_power_on(
     passes: &[Vec<i64>],
     weights: &[Vec<i64>],
     sta: StaBackend,
+    power: PowerBackend,
 ) -> Result<PowerShmoo, CoreError> {
     let grid = shmoo_with(im, lib, voltages, freqs_mhz, sta);
-    let activity = int_activity(&im.mac, lib, pa, passes, weights, EvalBackend::Engine)?;
-    let analyzer = PowerAnalyzer::with_wire_caps(&im.mac.module, lib, &im.wires.cap_ff)?;
-    let power_uw = grid
-        .pass
-        .iter()
-        .enumerate()
-        .map(|(vi, row)| {
-            row.iter()
+    let activity = int_activity(im, lib, pa, passes, weights, EvalBackend::Engine)?;
+    let cycles = activity.lane_cycles.max(1);
+    let power_uw = match power {
+        PowerBackend::Compiled => {
+            // One batch over the macro's compiled power program: the
+            // toggle-rate columns are resolved once and every passing
+            // point is a linear pass over shared read-only arrays.
+            let points: Vec<(f64, OperatingPoint)> = grid
+                .pass
+                .iter()
                 .enumerate()
-                .map(|(fi, &ok)| {
-                    ok.then(|| {
-                        analyzer
-                            .from_activity(
-                                &activity.toggles,
-                                activity.lane_cycles.max(1),
-                                grid.freqs_mhz[fi],
-                                OperatingPoint::at_voltage(grid.voltages[vi]),
-                            )
-                            .total_uw()
-                    })
+                .flat_map(|(vi, row)| {
+                    row.iter().enumerate().filter(|(_, &ok)| ok).map(move |(fi, _)| (vi, fi))
+                })
+                .map(|(vi, fi)| (grid.freqs_mhz[fi], OperatingPoint::at_voltage(grid.voltages[vi])))
+                .collect();
+            let mut reports = im.compiled.power.report_many(&activity.toggles, cycles, &points).into_iter();
+            grid.pass
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&ok| {
+                            ok.then(|| reports.next().expect("one report per passing point").total_uw())
+                        })
+                        .collect()
                 })
                 .collect()
-        })
-        .collect();
+        }
+        PowerBackend::Reference => {
+            // The seed behaviour: rebuild the analyzer, then one module
+            // walk per passing grid point.
+            let analyzer = PowerAnalyzer::with_wire_caps(&im.mac.module, lib, &im.wires.cap_ff)?;
+            grid.pass
+                .iter()
+                .enumerate()
+                .map(|(vi, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(fi, &ok)| {
+                            ok.then(|| {
+                                analyzer
+                                    .from_activity(
+                                        &activity.toggles,
+                                        cycles,
+                                        grid.freqs_mhz[fi],
+                                        OperatingPoint::at_voltage(grid.voltages[vi]),
+                                    )
+                                    .total_uw()
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+    };
     Ok(PowerShmoo { shmoo: grid, power_uw })
 }
 
@@ -271,7 +316,9 @@ mod tests {
     /// Satellite regression: the compiled-STA shmoo must reproduce the
     /// reference analyzer's pass/fail map and annotated power exactly —
     /// same grid, same power at every passing point, over a grid dense
-    /// enough to cross the retention limit and the timing wall.
+    /// enough to cross the retention limit and the timing wall, with
+    /// every backend combination (compiled/reference × STA/power)
+    /// agreeing bit for bit.
     #[test]
     fn compiled_and_reference_shmoo_agree_on_pass_map_and_power() {
         use syndcim_sim::vectors::{random_ints, seeded_rng};
@@ -289,10 +336,36 @@ mod tests {
         let weights: Vec<Vec<i64>> = (0..2).map(|_| random_ints(&mut rng, 8, 4)).collect();
         let passes: Vec<Vec<i64>> = (0..3).map(|_| random_ints(&mut rng, 8, 4)).collect();
         let fast_p = shmoo_with_power(&im, &lib, &vs, &fs, 4, &passes, &weights).unwrap();
-        let slow_p =
-            shmoo_with_power_on(&im, &lib, &vs, &fs, 4, &passes, &weights, StaBackend::Reference).unwrap();
-        assert_eq!(fast_p.shmoo.pass, slow_p.shmoo.pass);
-        assert_eq!(fast_p.power_uw, slow_p.power_uw, "annotated power must be identical per point");
+        for (sta, power) in [
+            (StaBackend::Reference, PowerBackend::Reference),
+            (StaBackend::Reference, PowerBackend::Compiled),
+            (StaBackend::Compiled, PowerBackend::Reference),
+        ] {
+            let other = shmoo_with_power_on(&im, &lib, &vs, &fs, 4, &passes, &weights, sta, power).unwrap();
+            assert_eq!(fast_p.shmoo.pass, other.shmoo.pass, "{sta:?}/{power:?}");
+            assert_eq!(
+                fast_p.power_uw, other.power_uw,
+                "annotated power must be identical per point ({sta:?}/{power:?})"
+            );
+        }
+    }
+
+    /// Dense voltage axes push `CompiledSta::fmax_many` over its
+    /// parallel threshold; the fanned-out grid must stay
+    /// order-identical to the reference per-voltage sweep.
+    #[test]
+    fn dense_shmoo_parallel_fmax_matches_reference_order() {
+        let (im, lib) = implemented();
+        // 44 functional voltages — well past the 32-corner parallel
+        // threshold — plus two below the retention limit.
+        let vs: Vec<f64> = (0..46).map(|i| 0.56 + 0.015 * i as f64).collect();
+        let fs = [100.0, 350.0, 700.0, 1400.0, 2800.0];
+        let fast = shmoo(&im, &lib, &vs, &fs);
+        let slow = shmoo_with(&im, &lib, &vs, &fs, StaBackend::Reference);
+        assert_eq!(fast.pass, slow.pass, "parallel fmax_many must keep corner order");
+        for vi in 0..vs.len() {
+            assert_eq!(fast.fmax_at(vi), slow.fmax_at(vi), "fmax at index {vi}");
+        }
     }
 
     #[test]

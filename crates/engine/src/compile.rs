@@ -13,7 +13,8 @@
 use syndcim_netlist::{Module, NetlistError};
 use syndcim_pdk::{CellFunction, CellLibrary};
 
-use crate::lowering::Lowering;
+use syndcim_ir::Lowering;
+
 use crate::program::{Commit, Op, Program, SCRATCH_SLOTS};
 
 impl Program {

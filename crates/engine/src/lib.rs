@@ -17,11 +17,13 @@
 //!   width that fits a requested lane count;
 //! * [`parallel_map`] — scoped-thread batch runner for scaling beyond
 //!   one word across cores (one executor per worker, all sharing one
-//!   compiled [`Program`]);
+//!   compiled [`Program`]); lives in `syndcim-ir` and is re-exported
+//!   here for back-compatibility;
 //! * [`Lowering`] — the shared compilation front end (connectivity,
-//!   levelized order, dense net slots), also consumed by
-//!   `syndcim_sta`'s compiled timing program so both fast paths walk
-//!   the netlist exactly once and agree on slot assignment.
+//!   levelized order, dense net slots), now owned by the `syndcim-ir`
+//!   crate (re-exported here) and consumed by the compiled timing and
+//!   power programs too, so every fast path walks the netlist exactly
+//!   once and agrees on slot assignment.
 //!
 //! Both backends implement [`syndcim_sim::SimBackend`]; the interpreter
 //! remains the bit-exact reference the engine is differentially tested
@@ -64,15 +66,12 @@
 
 pub mod compile;
 pub mod exec;
-pub mod lowering;
 pub mod program;
-pub mod runner;
 pub mod word;
 
 pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
-pub use lowering::Lowering;
 pub use program::Program;
-pub use runner::{default_threads, parallel_map};
+pub use syndcim_ir::{default_threads, parallel_map, Lowering};
 pub use word::{LaneWord, W256};
 
 #[cfg(test)]

@@ -1,20 +1,27 @@
-//! Shared netlist lowering: the traversal both compiled backends reuse.
+//! Shared netlist lowering: the traversal every compiled backend reuses.
 //!
 //! Lowering a module — building connectivity, levelizing the
 //! combinational instances and assigning every net a dense slot — is
 //! the part of compilation that is identical between the bit-parallel
-//! simulation [`Program`](crate::Program) and the compiled timing
-//! program in `syndcim-sta`. [`Lowering`] performs that traversal once
-//! and exposes the results, so downstream compilers only decide what to
-//! emit *per instance*, never how to walk the netlist.
+//! simulation program in `syndcim-engine`, the compiled timing program
+//! in `syndcim-sta` and the compiled power program in `syndcim-power`.
+//! [`Lowering`] performs that traversal once and exposes the results,
+//! so downstream compilers only decide what to emit *per instance*,
+//! never how to walk the netlist.
 //!
 //! The slot assignment is deliberately trivial — slot `i` is net `i` —
 //! which keeps every per-net side table (toggle counts, arrival times,
-//! wire parasitics) directly indexable by [`NetId::index`] with no
-//! remapping step between backends.
+//! switched capacitance, wire parasitics) directly indexable by
+//! [`NetId::index`] with no remapping step between backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
 use syndcim_pdk::CellLibrary;
+
+/// Global count of [`Lowering`] constructions (not clones), used by
+/// tests to pin the "one lowering per compiled macro" contract.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// The shared front half of netlist compilation: connectivity tables,
 /// the levelized combinational instance order and the dense net→slot
@@ -39,6 +46,7 @@ impl Lowering {
     /// Returns an error if a net has multiple drivers or the
     /// combinational part of the design is cyclic.
     pub fn new(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         let conn = Connectivity::build(module)?;
         let order = levelize(module, lib, &conn)?;
         Ok(Lowering { conn, order, net_count: module.net_count() })
@@ -80,6 +88,14 @@ impl Lowering {
     pub fn slot(&self, net: NetId) -> u32 {
         net.index() as u32
     }
+
+    /// Number of `Lowering`s *built* so far in this process (clones do
+    /// not count). A diagnostic counter: the "compiled trinity" tests
+    /// use it to pin that one `implement` call walks the netlist exactly
+    /// once, no matter how many backends consume the result.
+    pub fn builds() -> u64 {
+        BUILDS.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +129,20 @@ mod tests {
         let m = b.finish();
         assert!(Lowering::new(&m, &lib).is_ok(), "the STA contract tolerates unreached nets");
         assert!(matches!(Lowering::validated(&m, &lib), Err(NetlistError::FloatingNet { .. })));
+    }
+
+    #[test]
+    fn build_counter_counts_builds_not_clones() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("inv", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let before = Lowering::builds();
+        let low = Lowering::new(&m, &lib).unwrap();
+        let _clone = low.clone();
+        let _clone2 = low.clone();
+        assert!(Lowering::builds() > before, "new() must bump the counter");
     }
 }

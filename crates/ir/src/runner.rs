@@ -2,10 +2,11 @@
 //!
 //! The environment has no `rayon`, so this is a small scoped-thread
 //! work-stealing map: jobs are claimed off a shared atomic cursor and
-//! results land at their original indices. A [`crate::Program`] is `Sync`, so
-//! every worker can run its own [`crate::BatchSim`] against the same
-//! compiled program — the intended pattern for sweeping thousands of
-//! vector batches across cores.
+//! results land at their original indices. Compiled programs (the
+//! engine's `Program`, the STA's `CompiledSta`) are `Sync`, so every
+//! worker can evaluate against the same compiled artifact — the
+//! intended pattern for sweeping thousands of vector batches or corner
+//! grids across cores.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use syndcim_ir::Lowering;
 use syndcim_netlist::{Connectivity, Module, NetlistError, PortDir};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 
@@ -52,20 +53,26 @@ impl PowerReport {
 }
 
 /// Power analyzer bound to one module.
+///
+/// This is the *reference* analyzer: a direct walk over the module's
+/// instances per report. The engine-style fast path is obtained by
+/// lowering it once with [`PowerAnalyzer::compile`] into a
+/// [`CompiledPower`](crate::CompiledPower), which is differentially
+/// pinned to this implementation.
 #[derive(Debug)]
 pub struct PowerAnalyzer<'a> {
-    module: &'a Module,
-    lib: &'a CellLibrary,
+    pub(crate) module: &'a Module,
+    pub(crate) lib: &'a CellLibrary,
     /// Load per net in fF (pins + wire).
-    load_ff: Vec<f64>,
+    pub(crate) load_ff: Vec<f64>,
     /// Internal energy of each net's driver in fJ (0 for ports/ties).
-    driver_internal_fj: Vec<f64>,
+    pub(crate) driver_internal_fj: Vec<f64>,
     /// Top-level group name per instance (for breakdowns).
-    inst_group_head: Vec<String>,
+    pub(crate) inst_group_head: Vec<String>,
     /// Glitch multiplier on combinational dynamic energy.
-    glitch_factor: f64,
+    pub(crate) glitch_factor: f64,
     /// Clock-tree distribution overhead on top of register clock pins.
-    clock_tree_overhead: f64,
+    pub(crate) clock_tree_overhead: f64,
 }
 
 impl<'a> PowerAnalyzer<'a> {
@@ -89,7 +96,30 @@ impl<'a> PowerAnalyzer<'a> {
         lib: &'a CellLibrary,
         wire_cap_ff: &[f64],
     ) -> Result<Self, NetlistError> {
-        let conn = Connectivity::build(module)?;
+        // The walk itself never needs the connectivity tables; building
+        // them here keeps the seed's error contract (reject multi-driven
+        // nets) for callers that have not lowered the module yet.
+        let _conn = Connectivity::build(module)?;
+        Ok(Self::build(module, lib, wire_cap_ff))
+    }
+
+    /// Build an analyzer over an already-performed [`Lowering`] of
+    /// `module` — the shared-IR path: the lowering has already built and
+    /// checked connectivity, so no additional netlist walk happens here.
+    /// The lowering must have been built from the same `module`.
+    pub fn from_lowering(
+        module: &'a Module,
+        lib: &'a CellLibrary,
+        low: &Lowering,
+        wire_cap_ff: &[f64],
+    ) -> Self {
+        debug_assert_eq!(low.net_count(), module.net_count(), "lowering belongs to a different module");
+        Self::build(module, lib, wire_cap_ff)
+    }
+
+    /// The shared constructor body: per-net loads, driver internal
+    /// energies and group heads in one instance pass.
+    fn build(module: &'a Module, lib: &'a CellLibrary, wire_cap_ff: &[f64]) -> Self {
         let n = module.net_count();
         let mut load = vec![0.0f64; n];
         for inst in &module.instances {
@@ -113,7 +143,6 @@ impl<'a> PowerAnalyzer<'a> {
                 driver_internal[net.index()] = cell.internal_energy_fj;
             }
         }
-        let _ = conn;
 
         let inst_group_head = module
             .instances
@@ -124,7 +153,7 @@ impl<'a> PowerAnalyzer<'a> {
             })
             .collect();
 
-        Ok(PowerAnalyzer {
+        PowerAnalyzer {
             module,
             lib,
             load_ff: load,
@@ -132,7 +161,7 @@ impl<'a> PowerAnalyzer<'a> {
             inst_group_head,
             glitch_factor: 1.25,
             clock_tree_overhead: 0.30,
-        })
+        }
     }
 
     /// Override the glitch multiplier (1.0 disables glitch padding).

@@ -1,0 +1,367 @@
+//! Compiled power analysis: the engine-style fast path.
+//!
+//! [`PowerAnalyzer::from_activity`] walks the module's instances on
+//! every call — pin lookups, per-instance output vectors, a
+//! `BTreeMap<String, _>` group accumulation with one string clone per
+//! instance — which is fine for one report but dominates the sign-off
+//! loop once `shmoo_with_power` grids and SCL characterization ask for
+//! hundreds of operating points over the *same* netlist. This module
+//! applies the same compile-once/evaluate-many structure the simulation
+//! engine and the compiled STA use: [`PowerAnalyzer::compile`] bakes
+//! per-net switched capacitance, per-driver internal energy, clock-tree
+//! load, leakage and group membership into dense struct-of-arrays
+//! columns indexed by the shared IR's net slots, and every report is
+//! then one linear `toggles·column` pass.
+//!
+//! The transformation is exact, not approximate. Per instance output
+//! the reference computes `t · (½·C·V² + E_int·escale)` where only the
+//! toggle rate `t` and the corner scalars depend on the query; the
+//! compiler freezes the capacitance and internal-energy columns and the
+//! runtime pass replays the identical arithmetic in the identical
+//! order, so every report — totals *and* the `by_group_pj` breakdown —
+//! is **bit-identical** to the reference analyzer. Pinned by
+//! `tests/power_compiled_differential.rs` on the 64×64 paper test-chip
+//! across corners, wire loads and glitch factors.
+
+use std::collections::BTreeMap;
+
+use syndcim_pdk::{OperatingPoint, Process};
+
+use crate::analyzer::{PowerAnalyzer, PowerReport};
+
+/// A power analyzer compiled into struct-of-arrays form.
+///
+/// Build one from a configured (wire-annotated, glitch-adjusted)
+/// [`PowerAnalyzer`] with [`PowerAnalyzer::compile`]. The compiled
+/// program owns everything it needs — including the group names used
+/// for breakdowns — so unlike [`PowerAnalyzer`] it has no borrow of the
+/// module and can be stored in long-lived structures
+/// (`syndcim_core::CompiledMacro` keeps one per implemented macro).
+///
+/// ```
+/// use syndcim_netlist::NetlistBuilder;
+/// use syndcim_pdk::{CellLibrary, OperatingPoint};
+/// use syndcim_power::PowerAnalyzer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = CellLibrary::syn40();
+/// let mut b = NetlistBuilder::new("pipe", &lib);
+/// let a = b.input("a");
+/// let x = b.not(a);
+/// let q = b.dff(x);
+/// b.output("q", q);
+/// let m = b.finish();
+///
+/// let pa = PowerAnalyzer::new(&m, &lib)?;
+/// let cp = pa.compile(); // one-time lowering
+/// let toggles = vec![8u64; m.net_count()];
+/// // One linear pass per report, bit-identical to the reference:
+/// for v in [0.7, 0.9, 1.2] {
+///     let op = OperatingPoint::at_voltage(v);
+///     let fast = cp.report(&toggles, 16, 800.0, op);
+///     let slow = pa.from_activity(&toggles, 16, 800.0, op);
+///     assert_eq!(fast.total_uw(), slow.total_uw());
+///     assert_eq!(fast.by_group_pj, slow.by_group_pj);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPower {
+    /// Process parameters (cloned so the program is self-contained).
+    process: Process,
+    net_count: usize,
+
+    // Flattened instance outputs, instance-major in instance order
+    // (SoA). `out_cap_ff` is the baked total load (pins + port + wire),
+    // `out_internal_fj` the driving cell's internal energy.
+    out_slot: Vec<u32>,
+    out_cap_ff: Vec<f64>,
+    out_internal_fj: Vec<f64>,
+    /// Outputs of instance `i` span `inst_out_start[i]..inst_out_start[i+1]`.
+    inst_out_start: Vec<u32>,
+    /// Dense group-head index per instance.
+    inst_group: Vec<u32>,
+    /// Group-head names, indexed by `inst_group` values.
+    group_names: Vec<String>,
+
+    // Input-port nets: pin load charged by the external driver.
+    in_port_slot: Vec<u32>,
+    in_port_load_ff: Vec<f64>,
+
+    /// Sum of sequential clock-pin energies in fJ (instance order).
+    clock_regs_fj: f64,
+    /// Total cell leakage in nW (instance order).
+    leakage_total_nw: f64,
+    glitch_factor: f64,
+    clock_tree_overhead: f64,
+}
+
+impl<'a> PowerAnalyzer<'a> {
+    /// Lower this analyzer into a [`CompiledPower`].
+    ///
+    /// Compilation bakes in the current wire annotation and glitch
+    /// factor — call it *after* [`PowerAnalyzer::with_wire_caps`] /
+    /// [`PowerAnalyzer::set_glitch_factor`]. The one-time cost is a
+    /// single linear pass over the instances; every subsequent report
+    /// saves the module walk and the per-instance group-string churn.
+    pub fn compile(&self) -> CompiledPower {
+        let module = self.module;
+        let mut out_slot = Vec::new();
+        let mut out_cap_ff = Vec::new();
+        let mut out_internal_fj = Vec::new();
+        let mut inst_out_start = vec![0u32];
+        let mut inst_group = Vec::with_capacity(module.instance_count());
+        let mut group_names: Vec<String> = Vec::new();
+        let mut group_index: BTreeMap<&str, u32> = BTreeMap::new();
+
+        for (idx, inst) in module.instances.iter().enumerate() {
+            for &net in &inst.outputs {
+                out_slot.push(net.index() as u32);
+                out_cap_ff.push(self.load_ff[net.index()]);
+                out_internal_fj.push(self.driver_internal_fj[net.index()]);
+            }
+            inst_out_start.push(out_slot.len() as u32);
+            let head = self.inst_group_head[idx].as_str();
+            let g = *group_index.entry(head).or_insert_with(|| {
+                group_names.push(head.to_string());
+                group_names.len() as u32 - 1
+            });
+            inst_group.push(g);
+        }
+
+        let in_port_slot: Vec<u32> = module.input_ports().map(|p| p.net.index() as u32).collect();
+        let in_port_load_ff: Vec<f64> = module.input_ports().map(|p| self.load_ff[p.net.index()]).collect();
+
+        let clock_regs_fj: f64 =
+            module.instances.iter().filter_map(|i| self.lib.cell(i.cell).seq).map(|s| s.clk_energy_fj).sum();
+        let leakage_total_nw: f64 = module.instances.iter().map(|i| self.lib.cell(i.cell).leakage_nw).sum();
+
+        CompiledPower {
+            process: self.lib.process().clone(),
+            net_count: module.net_count(),
+            out_slot,
+            out_cap_ff,
+            out_internal_fj,
+            inst_out_start,
+            inst_group,
+            group_names,
+            in_port_slot,
+            in_port_load_ff,
+            clock_regs_fj,
+            leakage_total_nw,
+            glitch_factor: self.glitch_factor,
+            clock_tree_overhead: self.clock_tree_overhead,
+        }
+    }
+}
+
+impl CompiledPower {
+    /// Number of nets the program analyzes.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of top-level groups in the breakdown table.
+    pub fn group_count(&self) -> usize {
+        self.group_names.len()
+    }
+
+    /// Power from measured per-net toggle counts over `cycles` cycles
+    /// at `freq_mhz`, at operating point `op` — the compiled equivalent
+    /// of [`PowerAnalyzer::from_activity`], bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` or the toggle table is shorter than the
+    /// net count.
+    pub fn report(&self, toggles: &[u64], cycles: u64, freq_mhz: f64, op: OperatingPoint) -> PowerReport {
+        self.report_many(toggles, cycles, &[(freq_mhz, op)]).pop().expect("one report per point")
+    }
+
+    /// One report per `(freq_mhz, operating point)` over a shared
+    /// activity measurement — the shmoo fast path. The toggle-rate
+    /// column is resolved once and every corner is then a linear pass
+    /// over the shared read-only arrays; each report equals the
+    /// corresponding [`CompiledPower::report`] call exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` or the toggle table is shorter than the
+    /// net count.
+    pub fn report_many(
+        &self,
+        toggles: &[u64],
+        cycles: u64,
+        points: &[(f64, OperatingPoint)],
+    ) -> Vec<PowerReport> {
+        assert!(cycles > 0, "need at least one simulated cycle");
+        assert!(toggles.len() >= self.net_count, "toggle table too short");
+        let out_rate: Vec<f64> =
+            self.out_slot.iter().map(|&s| toggles[s as usize] as f64 / cycles as f64).collect();
+        let port_rate: Vec<f64> =
+            self.in_port_slot.iter().map(|&s| toggles[s as usize] as f64 / cycles as f64).collect();
+        points.iter().map(|&(freq_mhz, op)| self.pass(&out_rate, Some(&port_rate), freq_mhz, op)).collect()
+    }
+
+    /// Power assuming every non-constant net toggles `alpha` times per
+    /// cycle — the compiled equivalent of
+    /// [`PowerAnalyzer::from_static_activity`], bit-identical to it.
+    pub fn report_static(&self, alpha: f64, freq_mhz: f64, op: OperatingPoint) -> PowerReport {
+        let out_rate = vec![alpha; self.out_slot.len()];
+        self.pass(&out_rate, None, freq_mhz, op)
+    }
+
+    /// Leakage power in µW at a corner (mirrors
+    /// [`PowerAnalyzer::leakage_uw`]).
+    pub fn leakage_uw(&self, op: OperatingPoint) -> f64 {
+        let scale = self.process.leakage_scale(op.vdd_v, op.temp_c);
+        self.leakage_total_nw * scale / 1000.0
+    }
+
+    /// One corner's linear pass: per-instance switching energy from the
+    /// rate columns (instance-major, replaying the reference analyzer's
+    /// accumulation order exactly), plus the optional input-port pin
+    /// charge, clock tree and leakage.
+    fn pass(
+        &self,
+        out_rate: &[f64],
+        port_rate: Option<&[f64]>,
+        freq_mhz: f64,
+        op: OperatingPoint,
+    ) -> PowerReport {
+        let escale = self.process.energy_scale(op.vdd_v);
+        let v = op.vdd_v;
+
+        let mut by_group = vec![0.0f64; self.group_names.len()];
+        let mut switch_fj_total = 0.0f64;
+        for (i, &g) in self.inst_group.iter().enumerate() {
+            let (s, e) = (self.inst_out_start[i] as usize, self.inst_out_start[i + 1] as usize);
+            let mut inst_fj = 0.0;
+            let rates = out_rate[s..e].iter();
+            let cols = self.out_cap_ff[s..e].iter().zip(&self.out_internal_fj[s..e]);
+            for (&t, (&cap, &internal)) in rates.zip(cols) {
+                inst_fj += t * (0.5 * cap * v * v + internal * escale);
+            }
+            inst_fj *= self.glitch_factor;
+            switch_fj_total += inst_fj;
+            by_group[g as usize] += inst_fj / 1000.0;
+        }
+        if let Some(rates) = port_rate {
+            // Input-port nets: charged by the external driver but loading
+            // our pins still burns CV² in the receiving macro rail; count
+            // half (the reference analyzer's exact expression).
+            for (&t, &load) in rates.iter().zip(&self.in_port_load_ff) {
+                switch_fj_total += 0.5 * t * 0.5 * load * v * v;
+            }
+        }
+
+        let clock_fj = self.clock_regs_fj * escale * (1.0 + self.clock_tree_overhead);
+        let leakage_uw = self.leakage_uw(op);
+        let energy_per_cycle_pj = (switch_fj_total + clock_fj) / 1000.0;
+        let dynamic_uw = switch_fj_total * freq_mhz * 1e-3;
+        let clock_uw = clock_fj * freq_mhz * 1e-3;
+        let by_group_pj: BTreeMap<String, f64> = self.group_names.iter().cloned().zip(by_group).collect();
+        PowerReport { dynamic_uw, clock_uw, leakage_uw, energy_per_cycle_pj, freq_mhz, by_group_pj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::NetlistBuilder;
+    use syndcim_pdk::CellLibrary;
+    use syndcim_sim::Simulator;
+
+    fn toggler() -> (syndcim_netlist::Module, CellLibrary) {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        b.push_group("datapath");
+        let x = b.xor2(a, a);
+        let y = b.not(a);
+        b.pop_group();
+        b.push_group("regs/bank0");
+        let q = b.dff(y);
+        b.pop_group();
+        b.output("y", y);
+        b.output("x", x);
+        b.output("q", q);
+        (b.finish(), lib)
+    }
+
+    fn measured_toggles(m: &syndcim_netlist::Module, lib: &CellLibrary) -> (Vec<u64>, u64) {
+        let mut sim = Simulator::new(m, lib).unwrap();
+        for i in 0..100 {
+            sim.set("a", i % 2 == 0);
+            sim.step();
+        }
+        (sim.toggle_table().to_vec(), sim.cycles())
+    }
+
+    #[test]
+    fn compiled_report_is_bit_identical_to_from_activity() {
+        let (m, lib) = toggler();
+        let (toggles, cycles) = measured_toggles(&m, &lib);
+        let pa = PowerAnalyzer::new(&m, &lib).unwrap();
+        let cp = pa.compile();
+        assert_eq!(cp.net_count(), m.net_count());
+        assert!(cp.group_count() >= 2, "datapath and regs heads");
+        for v in [0.6, 0.9, 1.2] {
+            let op = OperatingPoint::at_voltage(v);
+            let slow = pa.from_activity(&toggles, cycles, 800.0, op);
+            let fast = cp.report(&toggles, cycles, 800.0, op);
+            assert_eq!(fast.dynamic_uw, slow.dynamic_uw);
+            assert_eq!(fast.clock_uw, slow.clock_uw);
+            assert_eq!(fast.leakage_uw, slow.leakage_uw);
+            assert_eq!(fast.energy_per_cycle_pj, slow.energy_per_cycle_pj);
+            assert_eq!(fast.by_group_pj, slow.by_group_pj);
+        }
+    }
+
+    #[test]
+    fn compiled_static_report_matches_reference() {
+        let (m, lib) = toggler();
+        let pa = PowerAnalyzer::new(&m, &lib).unwrap();
+        let cp = pa.compile();
+        let op = OperatingPoint::at_voltage(0.9);
+        for alpha in [0.05, 0.2, 0.5] {
+            let slow = pa.from_static_activity(alpha, 1000.0, op);
+            let fast = cp.report_static(alpha, 1000.0, op);
+            assert_eq!(fast.dynamic_uw, slow.dynamic_uw);
+            assert_eq!(fast.by_group_pj, slow.by_group_pj);
+            assert_eq!(fast.total_uw(), slow.total_uw());
+        }
+    }
+
+    #[test]
+    fn report_many_equals_per_point_reports() {
+        let (m, lib) = toggler();
+        let (toggles, cycles) = measured_toggles(&m, &lib);
+        let cp = PowerAnalyzer::new(&m, &lib).unwrap().compile();
+        let points: Vec<(f64, OperatingPoint)> = [(200.0, 0.7), (800.0, 0.9), (1500.0, 1.2)]
+            .map(|(f, v)| (f, OperatingPoint::at_voltage(v)))
+            .into();
+        let batch = cp.report_many(&toggles, cycles, &points);
+        for (&(f, op), got) in points.iter().zip(&batch) {
+            let want = cp.report(&toggles, cycles, f, op);
+            assert_eq!(got.total_uw(), want.total_uw());
+            assert_eq!(got.by_group_pj, want.by_group_pj);
+        }
+    }
+
+    #[test]
+    fn glitch_and_wire_configuration_is_baked_at_compile_time() {
+        let (m, lib) = toggler();
+        let (toggles, cycles) = measured_toggles(&m, &lib);
+        let caps = vec![12.5; m.net_count()];
+        let mut pa = PowerAnalyzer::with_wire_caps(&m, &lib, &caps).unwrap();
+        pa.set_glitch_factor(1.6);
+        let cp = pa.compile();
+        let op = OperatingPoint::at_voltage(0.9);
+        let slow = pa.from_activity(&toggles, cycles, 800.0, op);
+        let fast = cp.report(&toggles, cycles, 800.0, op);
+        assert_eq!(fast.dynamic_uw, slow.dynamic_uw, "wire caps and glitch factor must be baked in");
+        assert_eq!(fast.by_group_pj, slow.by_group_pj);
+    }
+}

@@ -4,6 +4,14 @@
 //! cycle simulator), clock and leakage power, and the TOPS / TOPS/W /
 //! TOPS/mm² metrics in which the paper reports results.
 //!
+//! Like simulation and timing, power analysis has a reference and a
+//! compiled backend: [`PowerAnalyzer`] walks the module per report,
+//! [`CompiledPower`] (from [`PowerAnalyzer::compile`]) bakes the walk
+//! into dense struct-of-arrays columns over the shared IR's net slots
+//! so one report is one linear `toggles·column` pass — bit-identical to
+//! the reference, batched over corners by
+//! [`CompiledPower::report_many`].
+//!
 //! ```
 //! use syndcim_power::{MacThroughput, tops_per_w};
 //! use syndcim_sim::Precision;
@@ -15,7 +23,9 @@
 //! ```
 
 pub mod analyzer;
+pub mod compiled;
 pub mod metrics;
 
 pub use analyzer::{PowerAnalyzer, PowerReport};
+pub use compiled::CompiledPower;
 pub use metrics::{tops_per_mm2, tops_per_w, MacThroughput};

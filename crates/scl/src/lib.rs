@@ -36,6 +36,7 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 use syndcim_engine::{EngineSim, Program};
+use syndcim_ir::Lowering;
 use syndcim_netlist::{Module, NetId, NetlistBuilder, NetlistStats};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::PowerAnalyzer;
@@ -362,6 +363,15 @@ const ENERGY_WARMUP_CYCLES: u64 = 4;
 
 /// Characterize one freshly built module: STA for delay, random-vector
 /// simulation for energy, stats for area/leakage.
+///
+/// The netlist is lowered **once** per record — the shared [`Lowering`]
+/// feeds the timing analyzer, the compiled simulation program and the
+/// power model, where the seed walked the connectivity three separate
+/// times (`Sta::new`, `Program::compile`, `PowerAnalyzer::new`) for
+/// every record of every characterization sweep. The hoist applies to
+/// both backends; what differs per backend is which analyzer consumes
+/// the IR (compiled vs reference), never how often the netlist is
+/// walked.
 fn characterize_module(
     lib: &CellLibrary,
     energy_cycles: u64,
@@ -373,28 +383,31 @@ fn characterize_module(
     let module: Module = b.finish();
 
     let stats = NetlistStats::of(&module, lib);
-    let sta = Sta::new(&module, lib).expect("generated subcircuits are well-formed");
+    let low = Lowering::validated(&module, lib).expect("generated subcircuits are well-formed");
+    let sta = Sta::with_lowering(&module, lib, low.clone());
     // Delay rides the backend choice like energy does: the engine path
-    // lowers the analyzer and runs the compiled SoA pass (bit-identical
-    // to the reference walk, pinned by the `backends_agree` test), so
-    // the search ladder's timing gates are fed by compiled STA while
-    // `Scl::interpreted()` keeps the seed's reference analyzer. The
-    // one-shot compile costs about as much as the walk it replaces —
-    // accepted: records are cached per key, the DUTs are tiny next to
-    // their 512-sample energy characterization, and the search then
-    // gates exclusively on compiled-path numbers.
+    // runs the compiled SoA pass (bit-identical to the reference walk,
+    // pinned by the `backends_agree` test), so the search ladder's
+    // timing gates are fed by compiled STA while `Scl::interpreted()`
+    // keeps the seed's reference analyzer.
     let delay = match backend {
         SclBackend::Engine => sta.compile().analyze(1e9).max_delay_ps,
         SclBackend::Interpreter => sta.analyze(1e9).max_delay_ps,
     };
 
     let (toggles, lane_cycles) = match backend {
-        SclBackend::Engine => engine_energy_activity(lib, &module, energy_cycles),
+        SclBackend::Engine => engine_energy_activity(lib, &module, &low, energy_cycles),
         SclBackend::Interpreter => interpreter_energy_activity(lib, &module, energy_cycles),
     };
-    let pa = PowerAnalyzer::new(&module, lib).expect("power model builds");
+    let pa = PowerAnalyzer::from_lowering(&module, lib, &low, &[]);
     let op = OperatingPoint::nominal(lib.process());
-    let report = pa.from_activity(&toggles, lane_cycles, 1000.0, op);
+    // The engine backend completes the compiled trinity (sim + STA +
+    // power all on the shared IR); the reference path keeps the seed's
+    // module-walking report, fed by the hoisted analyzer.
+    let report = match backend {
+        SclBackend::Engine => pa.compile().report(&toggles, lane_cycles, 1000.0, op),
+        SclBackend::Interpreter => pa.from_activity(&toggles, lane_cycles, 1000.0, op),
+    };
 
     PpaRecord {
         delay_ps: delay,
@@ -423,14 +436,19 @@ fn interpreter_energy_activity(lib: &CellLibrary, module: &Module, energy_cycles
     (sim.toggle_table().to_vec(), sim.cycles())
 }
 
-/// Engine sampler: compile once, then evaluate [`ENERGY_LANES`]
-/// independent random-stimulus lanes per pass on the wide word. After a
-/// short warm-up the measured window takes at least `energy_cycles`
-/// lane-cycle samples (one wide pass already covers 256), so each record
-/// averages over far more stimulus than the sequential path at a small
-/// fraction of its cost.
-fn engine_energy_activity(lib: &CellLibrary, module: &Module, energy_cycles: u64) -> (Vec<u64>, u64) {
-    let prog = Program::compile(module, lib).expect("generated subcircuits compile");
+/// Engine sampler: compile once (from the record's shared [`Lowering`]),
+/// then evaluate [`ENERGY_LANES`] independent random-stimulus lanes per
+/// pass on the wide word. After a short warm-up the measured window
+/// takes at least `energy_cycles` lane-cycle samples (one wide pass
+/// already covers 256), so each record averages over far more stimulus
+/// than the sequential path at a small fraction of its cost.
+fn engine_energy_activity(
+    lib: &CellLibrary,
+    module: &Module,
+    low: &Lowering,
+    energy_cycles: u64,
+) -> (Vec<u64>, u64) {
+    let prog = Program::from_lowering(low, module, lib);
     let mut sim = EngineSim::new(&prog, module, ENERGY_LANES);
     let mut rng = seeded_rng(0xC1A0 ^ module.net_count() as u64);
     let in_nets: Vec<NetId> = module.input_ports().map(|p| p.net).collect();

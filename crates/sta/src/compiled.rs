@@ -20,6 +20,7 @@
 //! `tests/sta_compiled_differential.rs` and in the shmoo regression
 //! suite.
 
+use syndcim_ir::parallel_map;
 use syndcim_pdk::{OperatingPoint, Process};
 
 use crate::{PathStep, Sta, TimingReport};
@@ -27,6 +28,16 @@ use crate::{PathStep, Sta, TimingReport};
 /// Sentinel for "no predecessor recorded" in the path-reconstruction
 /// tables (the net is a primary input or unreached).
 const NO_PRED: u32 = u32::MAX;
+
+/// Corner count above which [`CompiledSta::fmax_many`] fans the batch
+/// across worker threads. Each grid point is an independent pass over
+/// shared read-only arrays, but one 16×16-macro pass is only ~10 µs —
+/// below this, thread spawn overhead beats the parallel win.
+const FMAX_PARALLEL_THRESHOLD: usize = 32;
+
+/// Corners per parallel job: small enough to load-balance across
+/// workers, large enough to amortize each job's arrival buffer.
+const FMAX_PARALLEL_CHUNK: usize = 8;
 
 /// A timing analyzer compiled into struct-of-arrays form.
 ///
@@ -245,7 +256,24 @@ impl CompiledSta {
     /// exactly one arrival pass plus the endpoint max-reduction. The
     /// values are identical to per-point [`CompiledSta::fmax_mhz`]
     /// calls — predecessor tracking never affects arrival times.
+    ///
+    /// Dense grids fan out across cores: every corner is an independent
+    /// pass over the shared read-only arc arrays, so batches of
+    /// `FMAX_PARALLEL_THRESHOLD` (32) or more corners are chunked onto
+    /// the scoped-thread runner. Results come back in corner order and each
+    /// corner runs the identical serial arithmetic, so the output is
+    /// order-identical to the sequential evaluation (pinned by tests
+    /// here and by the shmoo regression suite).
     pub fn fmax_many(&self, ops: &[OperatingPoint]) -> Vec<f64> {
+        if ops.len() >= FMAX_PARALLEL_THRESHOLD {
+            let chunks: Vec<&[OperatingPoint]> = ops.chunks(FMAX_PARALLEL_CHUNK).collect();
+            return parallel_map(chunks, |_, chunk| self.fmax_serial(chunk)).into_iter().flatten().collect();
+        }
+        self.fmax_serial(ops)
+    }
+
+    /// Sequential `f_max` batch sharing one arrival buffer.
+    fn fmax_serial(&self, ops: &[OperatingPoint]) -> Vec<f64> {
         let mut arrival = vec![f64::NEG_INFINITY; self.net_count];
         ops.iter()
             .map(|op| {
@@ -491,6 +519,26 @@ mod tests {
         let batch = csta.fmax_many(&ops);
         for (op, f) in ops.iter().zip(&batch) {
             assert_eq!(*f, sta.fmax_mhz(*op), "batch fmax must equal the reference at {op:?}");
+        }
+    }
+
+    /// Above the parallel threshold `fmax_many` fans corners across
+    /// worker threads; the result must stay order-identical to the
+    /// per-point serial queries, corner for corner.
+    #[test]
+    fn parallel_fmax_many_is_order_identical_to_serial() {
+        let lib = lib();
+        let m = mixed_module(&lib);
+        let sta = Sta::new(&m, &lib).unwrap();
+        let csta = sta.compile();
+        let ops: Vec<OperatingPoint> = (0..(FMAX_PARALLEL_THRESHOLD * 2 + 3))
+            .map(|i| OperatingPoint::at_voltage(0.55 + 0.01 * i as f64))
+            .collect();
+        assert!(ops.len() >= FMAX_PARALLEL_THRESHOLD);
+        let batch = csta.fmax_many(&ops);
+        assert_eq!(batch, csta.fmax_serial(&ops), "parallel batch must equal the serial pass");
+        for (op, f) in ops.iter().zip(&batch) {
+            assert_eq!(*f, sta.fmax_mhz(*op), "corner {op:?} must match the reference");
         }
     }
 

@@ -39,7 +39,7 @@
 
 #![warn(missing_docs)]
 
-use syndcim_engine::Lowering;
+use syndcim_ir::Lowering;
 use syndcim_netlist::{Connectivity, InstId, Module, NetId, NetlistError, PortDir};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 
@@ -142,6 +142,19 @@ impl<'a> Sta<'a> {
     /// loops.
     pub fn new(module: &'a Module, lib: &'a CellLibrary) -> Result<Self, NetlistError> {
         let low = Lowering::new(module, lib)?;
+        Ok(Self::with_lowering(module, lib, low))
+    }
+
+    /// Build an analyzer over an already-performed [`Lowering`] of
+    /// `module` (zero wire parasitics; annotate with
+    /// [`Sta::with_wire_loads`] afterwards).
+    ///
+    /// This is how the shared-IR flow avoids re-walking the netlist:
+    /// `syndcim-core` lowers a macro once and hands the same traversal
+    /// to the simulation, timing and power compilers. The lowering must
+    /// have been built from the same `module`.
+    pub fn with_lowering(module: &'a Module, lib: &'a CellLibrary, low: Lowering) -> Self {
+        debug_assert_eq!(low.net_count(), module.net_count(), "lowering belongs to a different module");
         let port_load_ff = 4.0 * lib.process().cin_unit_ff;
         let mut sta = Sta {
             module,
@@ -152,7 +165,7 @@ impl<'a> Sta<'a> {
             port_load_ff,
         };
         sta.rebuild_loads();
-        Ok(sta)
+        sta
     }
 
     /// Annotate post-layout wire parasitics (replacing any previous
