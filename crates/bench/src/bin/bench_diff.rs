@@ -2,90 +2,279 @@
 //! against the committed `BENCH_baseline.json` and print a per-key
 //! regression table.
 //!
-//! Seeds the ROADMAP "perf trajectory tracking" item: CI regenerates
-//! the bench artifact every run but until now nothing diffed
-//! consecutive numbers — regressions only surfaced when they crossed an
-//! in-bench ratio assert. This tool is **warn-only** (always exits 0):
-//! bench numbers on shared CI runners are noisy, so it flags drift for
-//! a human instead of failing the build.
+//! Two modes:
+//!
+//! * **warn-only** (default, the PR-4 behaviour): always exits 0 —
+//!   bench numbers on shared CI runners are noisy, so drift is flagged
+//!   for a human instead of failing the build.
+//! * **hard mode** (`--fail-on-regression <pct>`): exits non-zero, but
+//!   only on **sustained** regressions — a key must be worse than the
+//!   baseline beyond `<pct>` in the current run *and* already be listed
+//!   in the committed warnings file (`BENCH_warnings.txt` by default,
+//!   override with `--warnings <path>`). A first-time regression only
+//!   warns and prints the line to commit; if the next run still
+//!   regresses, the committed trajectory carries the warning and the
+//!   build fails. One noisy run therefore never breaks CI, two
+//!   consecutive ones do.
 //!
 //! ```text
 //! cargo run --release -p syndcim-bench --bin bench_diff -- \
-//!     BENCH_baseline.json BENCH_engine.json
+//!     BENCH_baseline.json BENCH_engine.json \
+//!     --fail-on-regression 25 --warnings BENCH_warnings.txt
 //! ```
 //!
+//! Baseline-refresh cadence (see README): refresh `BENCH_baseline.json`
+//! (and clear the matching `BENCH_warnings.txt` lines) whenever a PR
+//! intentionally changes a measured number, and opportunistically when
+//! the table drifts ≥ two keys in the *improved* direction — stale
+//! baselines hide real regressions behind old slack.
+//!
 //! Direction is inferred from the key name: `*_ms` keys are
-//! lower-is-better (times), `*_vps` / `*_speedup` / `*_over_*` keys are
-//! higher-is-better (throughputs and ratios). Regressions beyond
-//! [`WARN_THRESHOLD`] are marked `⚠ REGRESSED`; keys present on only
-//! one side are listed as added/removed.
+//! lower-is-better (times), `*_vps` / `*_speedup` / `*_over_*` /
+//! `*_reduction*` keys are higher-is-better (throughputs and ratios).
+//! Keys present on only one side are listed as added/removed.
+
+use std::collections::BTreeSet;
 
 use syndcim_bench::parse_bench_artifact;
 
-/// Relative change beyond which a key is flagged as regressed.
+/// Relative change beyond which a key is flagged in warn-only mode.
 const WARN_THRESHOLD: f64 = 0.10;
 
 /// `true` when a larger value of `key` is better.
 fn higher_is_better(key: &str) -> bool {
-    key.ends_with("_vps") || key.ends_with("_speedup") || key.contains("_over_")
+    key.ends_with("_vps") || key.ends_with("_speedup") || key.contains("_over_") || key.contains("_reduction")
+}
+
+/// What a compared key amounts to under a threshold and the committed
+/// warning trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Within tolerance.
+    Ok,
+    /// Beyond tolerance in the good direction.
+    Improved,
+    /// Regressed for the first time: warn, ask for a committed entry.
+    FirstRegression,
+    /// Regressed *and* already warned in the committed trajectory.
+    Sustained,
+}
+
+/// Classify one key given its baseline/fresh values, the tolerance and
+/// the committed warning set.
+fn verdict(key: &str, base: f64, now: f64, threshold: f64, warned: &BTreeSet<String>) -> Verdict {
+    let delta = if base != 0.0 { (now - base) / base } else { 0.0 };
+    let regressed = if higher_is_better(key) { delta < -threshold } else { delta > threshold };
+    if regressed {
+        if warned.contains(key) {
+            Verdict::Sustained
+        } else {
+            Verdict::FirstRegression
+        }
+    } else if delta.abs() <= threshold {
+        Verdict::Ok
+    } else {
+        Verdict::Improved
+    }
+}
+
+/// Parse the committed warnings file: one key per line, `#` comments
+/// and blank lines ignored.
+fn parse_warnings(text: &str) -> BTreeSet<String> {
+    text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).map(str::to_string).collect()
+}
+
+/// Warned keys absent from the baseline or the fresh artifact — armed
+/// gates that no longer measure anything (renamed key / bench stopped
+/// merging). Hard mode refuses to pass while any exist.
+fn missing_warned_keys(
+    warned: &BTreeSet<String>,
+    baseline: &std::collections::BTreeMap<String, f64>,
+    fresh: &std::collections::BTreeMap<String, f64>,
+) -> Vec<String> {
+    warned.iter().filter(|k| !baseline.contains_key(*k) || !fresh.contains_key(*k)).cloned().collect()
+}
+
+struct Args {
+    baseline_path: String,
+    fresh_path: String,
+    /// `Some(relative threshold)` in hard mode.
+    fail_threshold: Option<f64>,
+    warnings_path: String,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        baseline_path: "BENCH_baseline.json".into(),
+        fresh_path: "BENCH_engine.json".into(),
+        fail_threshold: None,
+        warnings_path: "BENCH_warnings.txt".into(),
+    };
+    let mut positional = 0usize;
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--fail-on-regression" => {
+                let pct = argv.next().ok_or("--fail-on-regression needs a percentage")?;
+                let pct: f64 = pct.parse().map_err(|_| format!("bad percentage `{pct}`"))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err(format!("--fail-on-regression must be positive, got {pct}"));
+                }
+                args.fail_threshold = Some(pct / 100.0);
+            }
+            "--warnings" => {
+                args.warnings_path = argv.next().ok_or("--warnings needs a path")?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                match positional {
+                    0 => args.baseline_path = path.to_string(),
+                    1 => args.fresh_path = path.to_string(),
+                    _ => return Err(format!("unexpected extra argument `{path}`")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    Ok(args)
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
-    let fresh_path = args.next().unwrap_or_else(|| "BENCH_engine.json".into());
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            eprintln!(
+                "usage: bench_diff [BASELINE] [FRESH] [--fail-on-regression <pct>] [--warnings <path>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let threshold = args.fail_threshold.unwrap_or(WARN_THRESHOLD);
 
-    let baseline = match std::fs::read_to_string(&baseline_path) {
+    let baseline = match std::fs::read_to_string(&args.baseline_path) {
         Ok(s) => parse_bench_artifact(&s),
         Err(e) => {
-            println!("bench_diff: no baseline at {baseline_path} ({e}) — nothing to compare, exiting 0");
+            println!(
+                "bench_diff: no baseline at {} ({e}) — nothing to compare, exiting 0",
+                args.baseline_path
+            );
             return;
         }
     };
-    let fresh = match std::fs::read_to_string(&fresh_path) {
+    let fresh = match std::fs::read_to_string(&args.fresh_path) {
         Ok(s) => parse_bench_artifact(&s),
         Err(e) => {
-            println!("bench_diff: no fresh artifact at {fresh_path} ({e}) — nothing to compare, exiting 0");
+            println!(
+                "bench_diff: no fresh artifact at {} ({e}) — nothing to compare, exiting 0",
+                args.fresh_path
+            );
             return;
         }
     };
+    // The committed warning trajectory only gates hard mode; in
+    // warn-only mode a missing file is simply an empty set.
+    let warned = std::fs::read_to_string(&args.warnings_path).map(|s| parse_warnings(&s)).unwrap_or_default();
 
-    println!(
-        "bench_diff: {baseline_path} (baseline) vs {fresh_path} (fresh), warn at ±{:.0}%",
-        WARN_THRESHOLD * 100.0
-    );
+    let mode = match args.fail_threshold {
+        Some(t) => format!("hard mode, fail sustained regressions beyond ±{:.0}%", t * 100.0),
+        None => format!("warn-only at ±{:.0}%", threshold * 100.0),
+    };
+    println!("bench_diff: {} (baseline) vs {} (fresh), {mode}", args.baseline_path, args.fresh_path);
     println!("{:<38} {:>12} {:>12} {:>9}  verdict", "key", "baseline", "fresh", "delta");
-    let mut regressions = 0usize;
+    let mut first_warnings: Vec<&String> = Vec::new();
+    let mut sustained: Vec<&String> = Vec::new();
     for (key, &base) in &baseline {
         let Some(&now) = fresh.get(key) else {
             println!("{key:<38} {base:>12.3} {:>12} {:>9}  (removed)", "-", "-");
             continue;
         };
         let delta = if base != 0.0 { (now - base) / base } else { 0.0 };
-        // Improvement direction depends on what the key measures.
-        let regressed = if higher_is_better(key) { delta < -WARN_THRESHOLD } else { delta > WARN_THRESHOLD };
-        let verdict = if regressed {
-            regressions += 1;
-            "⚠ REGRESSED"
-        } else if delta.abs() <= WARN_THRESHOLD {
-            "ok"
-        } else {
-            "improved"
+        let v = verdict(key, base, now, threshold, &warned);
+        let label = match v {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::FirstRegression => {
+                first_warnings.push(key);
+                "⚠ REGRESSED (first)"
+            }
+            Verdict::Sustained => {
+                sustained.push(key);
+                "✗ REGRESSED (sustained)"
+            }
         };
-        println!("{key:<38} {base:>12.3} {now:>12.3} {:>+8.1}%  {verdict}", delta * 100.0);
+        println!("{key:<38} {base:>12.3} {now:>12.3} {:>+8.1}%  {label}", delta * 100.0);
     }
     for key in fresh.keys().filter(|k| !baseline.contains_key(*k)) {
         println!("{key:<38} {:>12} {:>12.3} {:>9}  (new key)", "-", fresh[key], "-");
     }
-
-    if regressions > 0 {
+    // Recovered keys: warned in the committed trajectory but no longer
+    // regressed — stale entries a baseline refresh should drop.
+    let recovered: Vec<&String> = warned
+        .iter()
+        .filter(|k| {
+            baseline.get(k.as_str()).zip(fresh.get(k.as_str())).is_some_and(|(&b, &n)| {
+                !matches!(verdict(k, b, n, threshold, &warned), Verdict::Sustained | Verdict::FirstRegression)
+            })
+        })
+        .collect();
+    if !recovered.is_empty() {
         println!(
-            "bench_diff: {regressions} key(s) regressed beyond {:.0}% — warn-only, not failing the build; \
-             refresh BENCH_baseline.json if the change is intentional",
-            WARN_THRESHOLD * 100.0
+            "bench_diff: recovered since the committed warn ({}); remove from {} when refreshing",
+            recovered.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", "),
+            args.warnings_path
         );
-    } else {
-        println!("bench_diff: no regressions beyond {:.0}%", WARN_THRESHOLD * 100.0);
+    }
+    // A warned key absent from either artifact means the gate it armed
+    // no longer measures anything — renamed key or broken bench. Never
+    // let that disarm silently: in hard mode it fails the run.
+    let missing_warned = missing_warned_keys(&warned, &baseline, &fresh);
+    if !missing_warned.is_empty() {
+        println!(
+            "bench_diff: warned key(s) missing from the artifacts ({}) — renamed or no longer \
+             benched; fix the bench or remove the entry from {}",
+            missing_warned.join(", "),
+            args.warnings_path
+        );
+        if args.fail_threshold.is_some() {
+            println!("bench_diff: FAILING — an armed gate would otherwise disarm silently");
+            std::process::exit(1);
+        }
+    }
+
+    if !first_warnings.is_empty() {
+        println!(
+            "bench_diff: {} key(s) regressed for the first time — not failing; if the next run \
+             still regresses, commit the key(s) to {} to arm the gate:",
+            first_warnings.len(),
+            args.warnings_path
+        );
+        for key in &first_warnings {
+            println!("    {key}");
+        }
+    }
+    match (&args.fail_threshold, sustained.is_empty()) {
+        (_, true) if first_warnings.is_empty() => {
+            println!("bench_diff: no regressions beyond {:.0}%", threshold * 100.0);
+        }
+        (Some(_), false) => {
+            println!(
+                "bench_diff: FAILING — {} sustained regression(s) beyond {:.0}% (warned in the \
+                 committed trajectory and still regressed): {}",
+                sustained.len(),
+                threshold * 100.0,
+                sustained.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(1);
+        }
+        (None, false) => {
+            println!(
+                "bench_diff: {} sustained regression(s) — warn-only mode, not failing; \
+                 refresh BENCH_baseline.json if the change is intentional",
+                sustained.len()
+            );
+        }
+        _ => {}
     }
 }
 
@@ -107,6 +296,64 @@ mod tests {
         assert!(higher_is_better("engine64_vps"));
         assert!(higher_is_better("power_shmoo_speedup"));
         assert!(higher_is_better("engine64_over_interpreter"));
+        assert!(higher_is_better("intern_reduction_over_strings"));
         assert!(!higher_is_better("scl_engine_ms"));
+        assert!(!higher_is_better("lowering_256x256_ms"));
+    }
+
+    #[test]
+    fn warnings_file_ignores_comments_and_blanks() {
+        let w = parse_warnings("# noisy keys\n\n  engine64_vps  \nsta_grid_ms\n");
+        assert_eq!(w.len(), 2);
+        assert!(w.contains("engine64_vps") && w.contains("sta_grid_ms"));
+    }
+
+    #[test]
+    fn sustained_requires_a_committed_warn() {
+        let warned: BTreeSet<String> = ["slow_ms".to_string()].into();
+        // 50% slower on a lower-is-better key at 25% tolerance:
+        assert_eq!(verdict("slow_ms", 10.0, 15.0, 0.25, &warned), Verdict::Sustained);
+        assert_eq!(verdict("other_ms", 10.0, 15.0, 0.25, &warned), Verdict::FirstRegression);
+        // Within tolerance or improved never fails, warned or not.
+        assert_eq!(verdict("slow_ms", 10.0, 11.0, 0.25, &warned), Verdict::Ok);
+        assert_eq!(verdict("slow_ms", 10.0, 5.0, 0.25, &warned), Verdict::Improved);
+        // Direction flips for higher-is-better keys.
+        assert_eq!(verdict("fast_vps", 100.0, 60.0, 0.25, &BTreeSet::new()), Verdict::FirstRegression);
+        assert_eq!(verdict("fast_vps", 100.0, 160.0, 0.25, &BTreeSet::new()), Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_warned_keys_are_flagged_from_either_side() {
+        let warned: BTreeSet<String> =
+            ["gone_ms".to_string(), "here_ms".to_string(), "fresh_only_ms".to_string()].into();
+        let baseline: std::collections::BTreeMap<String, f64> =
+            [("here_ms".to_string(), 1.0), ("gone_ms".to_string(), 2.0)].into();
+        let fresh: std::collections::BTreeMap<String, f64> =
+            [("here_ms".to_string(), 1.0), ("fresh_only_ms".to_string(), 3.0)].into();
+        let missing = missing_warned_keys(&warned, &baseline, &fresh);
+        assert_eq!(missing, vec!["fresh_only_ms".to_string(), "gone_ms".to_string()]);
+    }
+
+    #[test]
+    fn arg_parsing_accepts_flags_anywhere() {
+        let a = parse_args(
+            ["base.json", "--fail-on-regression", "25", "fresh.json", "--warnings", "w.txt"]
+                .map(String::from)
+                .into_iter(),
+        )
+        .unwrap();
+        assert_eq!(a.baseline_path, "base.json");
+        assert_eq!(a.fresh_path, "fresh.json");
+        assert_eq!(a.fail_threshold, Some(0.25));
+        assert_eq!(a.warnings_path, "w.txt");
+        assert!(parse_args(["--fail-on-regression"].map(String::from).into_iter()).is_err());
+        assert!(parse_args(["--fail-on-regression", "-5"].map(String::from).into_iter()).is_err());
+        assert!(parse_args(["--bogus"].map(String::from).into_iter()).is_err());
+        // Defaults.
+        let d = parse_args(std::iter::empty()).unwrap();
+        assert_eq!(d.baseline_path, "BENCH_baseline.json");
+        assert_eq!(d.fresh_path, "BENCH_engine.json");
+        assert_eq!(d.fail_threshold, None);
+        assert_eq!(d.warnings_path, "BENCH_warnings.txt");
     }
 }

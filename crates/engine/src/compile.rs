@@ -130,7 +130,14 @@ impl Program {
             commits.push(Commit { update: seq.update, in0, in1, q: inst.outputs[0].index() as u32 });
         }
 
-        Program { net_count, slot_count: net_count + SCRATCH_SLOTS, ops, commits, seq_of_inst }
+        Program {
+            net_count,
+            slot_count: net_count + SCRATCH_SLOTS,
+            ops,
+            commits,
+            seq_of_inst,
+            syms: low.symbols().clone(),
+        }
     }
 }
 
@@ -178,6 +185,26 @@ mod tests {
         let p = Program::compile(&m, &lib).unwrap();
         assert_eq!(p.seq_count(), 3);
         assert_eq!(p.op_count(), 0);
+    }
+
+    #[test]
+    fn net_and_op_labels_resolve_through_the_interner() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("lbl", &lib);
+        let a = b.input("a");
+        let c = b.input("c");
+        let y = b.add(CellKind::Nand2, &[a, c])[0];
+        b.output("y", y);
+        let m = b.finish();
+        let p = Program::compile(&m, &lib).unwrap();
+        // Every real slot resolves to its net name; scratch slots don't.
+        for (i, net) in m.nets.iter().enumerate() {
+            assert_eq!(p.net_label(i as u32), Some(net.name.as_str()));
+        }
+        assert_eq!(p.net_label(m.net_count() as u32), None, "scratch slots have no net label");
+        // The NAND lowers to AND-into-scratch then NOT-into-`y`'s net.
+        assert_eq!(p.op_label(0), format!("%{} = `a` & `c`", m.net_count()));
+        assert_eq!(p.op_label(1), format!("`{}` = !%{}", m.nets[y.index()].name, m.net_count()));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod word;
 
 pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
 pub use program::Program;
-pub use syndcim_ir::{default_threads, parallel_map, Lowering};
+pub use syndcim_ir::{default_threads, parallel_map, Lowering, Symbol, Symbols};
 pub use word::{LaneWord, W256};
 
 #[cfg(test)]
@@ -119,7 +119,10 @@ mod tests {
     fn differential_vs_interpreter_on_mixed_logic() {
         let lib = CellLibrary::syn40();
         let m = mixed_module(&lib);
-        let prog = Program::compile(&m, &lib).unwrap();
+        // One lowering feeds the compiled program and every reference
+        // interpreter instance (no per-lane connectivity walk).
+        let low = Lowering::validated(&m, &lib).unwrap();
+        let prog = Program::from_lowering(&low, &m, &lib);
         let lanes = 13; // deliberately not a power of two
         let cycles = 40;
 
@@ -155,7 +158,7 @@ mod tests {
         // Interpreter: one run per lane; toggles summed.
         let mut ref_toggles = vec![0u64; m.net_count()];
         for (l, stim) in stimulus.iter().enumerate() {
-            let mut sim = Simulator::new(&m, &lib).unwrap();
+            let mut sim = Simulator::with_lowering(&m, &lib, &low).unwrap();
             for (c, vec6) in stim.iter().enumerate() {
                 for (i, &net) in in_nets.iter().enumerate() {
                     sim.poke(net, vec6[i]);
@@ -202,7 +205,8 @@ mod tests {
     fn wide_backend_matches_interpreter_lane_for_lane() {
         let lib = CellLibrary::syn40();
         let m = mixed_module(&lib);
-        let prog = Program::compile(&m, &lib).unwrap();
+        let low = Lowering::validated(&m, &lib).unwrap();
+        let prog = Program::from_lowering(&low, &m, &lib);
         let lanes = 150; // spans three 64-lane chunks, partial last chunk
         let cycles = 12;
 
@@ -238,7 +242,7 @@ mod tests {
 
         let mut ref_toggles = vec![0u64; m.net_count()];
         for (l, stim) in stimulus.iter().enumerate() {
-            let mut sim = Simulator::new(&m, &lib).unwrap();
+            let mut sim = Simulator::with_lowering(&m, &lib, &low).unwrap();
             for (c, vec6) in stim.iter().enumerate() {
                 for (i, &net) in in_nets.iter().enumerate() {
                     sim.poke(net, vec6[i]);

@@ -9,6 +9,7 @@
 //! ops — they appear as `Commit` records executed once per clock
 //! cycle.
 
+use syndcim_ir::Symbols;
 use syndcim_pdk::SeqUpdate;
 
 /// Number of scratch slots appended after the net slots. The widest
@@ -69,6 +70,10 @@ pub struct Program {
     /// Instance index → dense sequential index (`u32::MAX` for
     /// combinational instances).
     pub(crate) seq_of_inst: Vec<u32>,
+    /// Interned net/instance names (shared `Arc` handles into the
+    /// lowering's [`Symbols`]) — resolved lazily by the label helpers;
+    /// the program owns no `String` tables.
+    pub(crate) syms: Symbols,
 }
 
 impl Program {
@@ -85,5 +90,43 @@ impl Program {
     /// Number of sequential state elements.
     pub fn seq_count(&self) -> usize {
         self.commits.len()
+    }
+
+    /// The interned name tables this program resolves labels against
+    /// (shared with the lowering it was compiled from).
+    pub fn symbols(&self) -> &Symbols {
+        &self.syms
+    }
+
+    /// Name of the net mirrored by `slot`, or `None` for scratch slots
+    /// (`net_count..slot_count`), resolved lazily against the shared
+    /// interner.
+    pub fn net_label(&self, slot: u32) -> Option<&str> {
+        ((slot as usize) < self.net_count).then(|| self.syms.net_name(slot as usize))
+    }
+
+    /// Human-readable description of micro-op `idx` with its
+    /// destination labelled by real net name (scratch destinations show
+    /// as `%<slot>`) — the diagnostic view of the op stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn op_label(&self, idx: usize) -> String {
+        let slot = |s: u32| match self.net_label(s) {
+            Some(name) => format!("`{name}`"),
+            None => format!("%{s}"),
+        };
+        match self.ops[idx] {
+            Op::Const { dst, ones } => format!("{} = const {}", slot(dst), u8::from(ones)),
+            Op::Copy { dst, a } => format!("{} = {}", slot(dst), slot(a)),
+            Op::Not { dst, a } => format!("{} = !{}", slot(dst), slot(a)),
+            Op::And { dst, a, b } => format!("{} = {} & {}", slot(dst), slot(a), slot(b)),
+            Op::Or { dst, a, b } => format!("{} = {} | {}", slot(dst), slot(a), slot(b)),
+            Op::Xor { dst, a, b } => format!("{} = {} ^ {}", slot(dst), slot(a), slot(b)),
+            Op::Mux { dst, d0, d1, s } => {
+                format!("{} = {} ? {} : {}", slot(dst), slot(s), slot(d1), slot(d0))
+            }
+        }
     }
 }

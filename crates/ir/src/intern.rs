@@ -1,0 +1,439 @@
+//! Symbol interning: the shared name layer of the compiled trinity.
+//!
+//! Compiled artifacts outlive the module they were lowered from, so
+//! until this layer existed every one of them cloned owned `String`
+//! name tables out of the netlist — `CompiledSta` alone carried a
+//! per-net, a per-instance *and* a per-instance-group clone, which is
+//! three `String`s per element of a macro that the scale tier grows to
+//! 10⁵–10⁶ nets. Interning replaces those tables with 4-byte
+//! [`Symbol`]s resolved lazily against one shared, immutable
+//! [`Interner`]: the bytes of every distinct name are stored exactly
+//! once, in one arena, behind one `Arc` that the lowering and all
+//! downstream programs hand around for free.
+//!
+//! The split is deliberate:
+//!
+//! * [`InternerBuilder`] — mutable, deduplicating (hash-indexed), used
+//!   only while [`Symbols::from_module`] walks the module once;
+//! * [`Interner`] — frozen, resolve-only: a contiguous byte arena plus
+//!   an end-offset table, so its retained memory is exactly
+//!   `Σ unique name bytes + 4 bytes per symbol` with no hash-map
+//!   overhead surviving the build.
+//!
+//! [`Symbols`] is the module-shaped view: per-net / per-instance /
+//! per-group symbol tables (each an `Arc` slice, shared rather than
+//! cloned between the lowering and the simulation, timing and power
+//! programs) plus the group *parent* table that lets the power
+//! breakdown reconstruct full hierarchical group paths without storing
+//! a single path string per instance.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use syndcim_netlist::Module;
+
+/// An interned string: a 4-byte handle resolved against the
+/// [`Interner`] it was created by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The symbol's dense index within its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Mutable, deduplicating interner used while names are collected.
+/// [`InternerBuilder::freeze`] discards the lookup index and returns
+/// the compact resolve-only [`Interner`].
+#[derive(Debug, Default)]
+pub struct InternerBuilder {
+    buf: String,
+    ends: Vec<u32>,
+    /// Build-time lookup only — dropped by `freeze`, so duplicate
+    /// string storage never survives into the retained artifact.
+    index: HashMap<String, u32>,
+}
+
+impl InternerBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning the existing symbol if the exact string
+    /// was interned before (dedup is by full string equality).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&i) = self.index.get(s) {
+            return Symbol(i);
+        }
+        let i = self.ends.len() as u32;
+        self.buf.push_str(s);
+        self.ends.push(self.buf.len() as u32);
+        self.index.insert(s.to_string(), i);
+        Symbol(i)
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Freeze into the compact resolve-only [`Interner`], dropping the
+    /// build-time lookup index.
+    pub fn freeze(self) -> Interner {
+        Interner { buf: self.buf.into_boxed_str(), ends: self.ends.into_boxed_slice() }
+    }
+}
+
+/// A frozen string arena: resolve-only, immutable, cheaply shared via
+/// `Arc` between the lowering and every compiled artifact built from
+/// it. Retained heap is `buf` (every distinct name's bytes, once) plus
+/// one `u32` end offset per symbol.
+#[derive(Debug)]
+pub struct Interner {
+    buf: Box<str>,
+    ends: Box<[u32]>,
+}
+
+impl Interner {
+    /// The string a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by the builder this interner
+    /// was frozen from.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        let i = sym.index();
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.buf[start..self.ends[i] as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` if the interner holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Retained heap bytes: the byte arena plus the offset table. This
+    /// is the number the scale-tier bench compares against the owned
+    /// `String`-table baseline.
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.len() + self.ends.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Sentinel for "no parent group" in [`Symbols::group_parent`] (the
+/// group is a hierarchy root such as `top` or a top-level head).
+const NO_PARENT: u32 = u32::MAX;
+
+/// The interned name tables of one module: per-net, per-instance and
+/// per-group symbols over one shared [`Interner`].
+///
+/// Built once per [`Lowering`](crate::Lowering) (or standalone via
+/// [`Symbols::from_module`]) and handed to every compiled artifact —
+/// engine `Program`, `CompiledSta`, `CompiledPower` — as `Arc` handles,
+/// so a clone is a few reference-count bumps, never a table copy, and
+/// no compiled artifact owns a per-net or per-instance `String` again.
+#[derive(Debug, Clone)]
+pub struct Symbols {
+    interner: Arc<Interner>,
+    /// Net name per dense net slot.
+    net_syms: Arc<[Symbol]>,
+    /// Instance name per instance index.
+    inst_syms: Arc<[Symbol]>,
+    /// Group id per instance index.
+    inst_group: Arc<[u32]>,
+    /// Full hierarchical group path per group id (`"regs/bank0"`).
+    group_syms: Arc<[Symbol]>,
+    /// Top-level head of each group path (`"regs"`), matching the
+    /// reference power analyzer's breakdown keys.
+    group_head_syms: Arc<[Symbol]>,
+    /// Path-tree node per group id (see `node_*` below).
+    group_node: Arc<[u32]>,
+    /// The hierarchical path tree: one node per distinct group path
+    /// *and per prefix of one* (`"regs/bank0"` contributes `"regs"` and
+    /// `"regs/bank0"` even when only the latter was pushed as a group).
+    /// Parents always precede children, so a single reverse pass rolls
+    /// subtree aggregates up the hierarchy.
+    node_syms: Arc<[Symbol]>,
+    /// Parent node per node; `NO_PARENT` for hierarchy roots (the
+    /// roots are exactly the top-level heads).
+    node_parent: Arc<[u32]>,
+}
+
+impl Symbols {
+    /// Intern every net, instance and group name of `module` in one
+    /// pass. Group heads (the path segment before the first `/`) and
+    /// the per-group parent links are derived here, while the
+    /// deduplicating builder index is still alive.
+    pub fn from_module(module: &Module) -> Symbols {
+        let mut b = InternerBuilder::new();
+        let net_syms: Vec<Symbol> = module.nets.iter().map(|n| b.intern(&n.name)).collect();
+        let inst_syms: Vec<Symbol> = module.instances.iter().map(|i| b.intern(&i.name)).collect();
+        let inst_group: Vec<u32> = module.instances.iter().map(|i| i.group.0).collect();
+
+        let mut group_syms = Vec::with_capacity(module.groups.len());
+        let mut group_head_syms = Vec::with_capacity(module.groups.len());
+        let mut group_node = Vec::with_capacity(module.groups.len());
+        // Path tree keyed by full-path symbol: duplicate-named groups
+        // share one node, and every `/`-prefix gets a node of its own
+        // (created before its children, so node ids are topologically
+        // ordered parents-first).
+        let mut node_index: HashMap<Symbol, u32> = HashMap::new();
+        let mut node_syms: Vec<Symbol> = Vec::new();
+        let mut node_parent: Vec<u32> = Vec::new();
+        for name in &module.groups {
+            group_syms.push(b.intern(name));
+            group_head_syms.push(b.intern(name.split('/').next().unwrap_or(name)));
+            let mut parent = NO_PARENT;
+            let mut node = NO_PARENT;
+            let bounds = name.match_indices('/').map(|(i, _)| i).chain(std::iter::once(name.len()));
+            for end in bounds {
+                let sym = b.intern(&name[..end]);
+                node = *node_index.entry(sym).or_insert_with(|| {
+                    node_syms.push(sym);
+                    node_parent.push(parent);
+                    node_syms.len() as u32 - 1
+                });
+                parent = node;
+            }
+            group_node.push(node);
+        }
+
+        Symbols {
+            interner: Arc::new(b.freeze()),
+            net_syms: net_syms.into(),
+            inst_syms: inst_syms.into(),
+            inst_group: inst_group.into(),
+            group_syms: group_syms.into(),
+            group_head_syms: group_head_syms.into(),
+            group_node: group_node.into(),
+            node_syms: node_syms.into(),
+            node_parent: node_parent.into(),
+        }
+    }
+
+    /// The shared interner every symbol here resolves against.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Resolve any symbol produced by this table's interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Number of net slots.
+    pub fn net_count(&self) -> usize {
+        self.net_syms.len()
+    }
+
+    /// Number of instances.
+    pub fn inst_count(&self) -> usize {
+        self.inst_syms.len()
+    }
+
+    /// Number of groups (hierarchy nodes, not just heads).
+    pub fn group_count(&self) -> usize {
+        self.group_syms.len()
+    }
+
+    /// Interned name of net slot `slot`.
+    pub fn net_sym(&self, slot: usize) -> Symbol {
+        self.net_syms[slot]
+    }
+
+    /// Name of net slot `slot`.
+    pub fn net_name(&self, slot: usize) -> &str {
+        self.resolve(self.net_syms[slot])
+    }
+
+    /// Interned name of instance `inst`.
+    pub fn inst_sym(&self, inst: usize) -> Symbol {
+        self.inst_syms[inst]
+    }
+
+    /// Name of instance `inst`.
+    pub fn inst_name(&self, inst: usize) -> &str {
+        self.resolve(self.inst_syms[inst])
+    }
+
+    /// Group id of instance `inst`.
+    pub fn group_of(&self, inst: usize) -> u32 {
+        self.inst_group[inst]
+    }
+
+    /// Interned full path of group `gid` (e.g. `"regs/bank0"`).
+    pub fn group_sym(&self, gid: u32) -> Symbol {
+        self.group_syms[gid as usize]
+    }
+
+    /// Full hierarchical path of group `gid`.
+    pub fn group_name(&self, gid: u32) -> &str {
+        self.resolve(self.group_syms[gid as usize])
+    }
+
+    /// Interned top-level head of group `gid` (e.g. `"regs"`) — the
+    /// key the power breakdown aggregates by.
+    pub fn group_head_sym(&self, gid: u32) -> Symbol {
+        self.group_head_syms[gid as usize]
+    }
+
+    /// The path-tree node carrying group `gid`'s full path.
+    pub fn group_node(&self, gid: u32) -> u32 {
+        self.group_node[gid as usize]
+    }
+
+    /// Number of nodes in the hierarchical path tree (distinct full
+    /// paths plus every prefix of one).
+    pub fn node_count(&self) -> usize {
+        self.node_syms.len()
+    }
+
+    /// Interned full path of path-tree node `node`.
+    pub fn node_sym(&self, node: u32) -> Symbol {
+        self.node_syms[node as usize]
+    }
+
+    /// Full path of path-tree node `node`.
+    pub fn node_name(&self, node: u32) -> &str {
+        self.resolve(self.node_syms[node as usize])
+    }
+
+    /// Parent of path-tree node `node`, or `None` for hierarchy roots.
+    /// Parent node ids are always smaller than their children's, so a
+    /// reverse iteration over `0..node_count()` visits children before
+    /// parents (the rollup order `CompiledPower::by_path_pj` relies
+    /// on).
+    pub fn node_parent(&self, node: u32) -> Option<u32> {
+        let p = self.node_parent[node as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Retained heap bytes of the symbol tables *plus* the shared
+    /// interner (counted once — every artifact holding this `Symbols`
+    /// shares the same allocations).
+    pub fn heap_bytes(&self) -> usize {
+        let sym = std::mem::size_of::<Symbol>();
+        self.net_syms.len() * sym
+            + self.inst_syms.len() * sym
+            + self.inst_group.len() * std::mem::size_of::<u32>()
+            + self.group_syms.len() * sym
+            + self.group_head_syms.len() * sym
+            + self.group_node.len() * std::mem::size_of::<u32>()
+            + self.node_syms.len() * sym
+            + self.node_parent.len() * std::mem::size_of::<u32>()
+            + self.interner.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndcim_netlist::NetlistBuilder;
+    use syndcim_pdk::CellLibrary;
+
+    #[test]
+    fn intern_round_trips_and_dedups() {
+        let mut b = InternerBuilder::new();
+        let a1 = b.intern("alpha");
+        let beta = b.intern("beta");
+        let a2 = b.intern("alpha");
+        let empty = b.intern("");
+        assert_eq!(a1, a2, "equal strings must intern to one symbol");
+        assert_ne!(a1, beta);
+        assert_eq!(b.len(), 3, "dedup: three distinct strings");
+        let frozen = b.freeze();
+        assert_eq!(frozen.resolve(a1), "alpha");
+        assert_eq!(frozen.resolve(beta), "beta");
+        assert_eq!(frozen.resolve(empty), "");
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(frozen.heap_bytes(), "alphabeta".len() + 3 * 4);
+    }
+
+    #[test]
+    fn symbols_mirror_module_names() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("m", &lib);
+        let a = b.input("a");
+        b.push_group("regs");
+        b.push_group("bank0");
+        let q = b.dff(a);
+        b.pop_group();
+        b.pop_group();
+        b.output("q", q);
+        let m = b.finish();
+        let syms = Symbols::from_module(&m);
+        assert_eq!(syms.net_count(), m.net_count());
+        assert_eq!(syms.inst_count(), m.instance_count());
+        for (i, net) in m.nets.iter().enumerate() {
+            assert_eq!(syms.net_name(i), net.name);
+        }
+        for (i, inst) in m.instances.iter().enumerate() {
+            assert_eq!(syms.inst_name(i), inst.name);
+            assert_eq!(syms.group_of(i), inst.group.0);
+            assert_eq!(syms.group_name(inst.group.0), m.group_name(inst.group));
+        }
+    }
+
+    #[test]
+    fn path_tree_follows_prefixes_and_synthesizes_missing_ancestors() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("m", &lib);
+        let a = b.input("a");
+        let g_regs = b.push_group("regs");
+        let g_bank = b.push_group("bank0");
+        let q = b.dff(a);
+        b.pop_group();
+        b.pop_group();
+        // A slash inside one push: `mem/word0` has no explicit `mem`
+        // group — the tree must synthesize the prefix node.
+        let g_word = b.push_group("mem/word0");
+        let y = b.not(q);
+        b.pop_group();
+        b.output("y", y);
+        let m = b.finish();
+        let syms = Symbols::from_module(&m);
+
+        let top = syms.group_node(0);
+        assert_eq!(syms.node_parent(top), None, "top is a root");
+        let regs = syms.group_node(g_regs.0);
+        let bank = syms.group_node(g_bank.0);
+        assert_eq!(syms.node_parent(regs), None, "`regs` is a root (no `top/` prefix)");
+        assert_eq!(syms.node_parent(bank), Some(regs), "`regs/bank0` hangs under `regs`");
+        assert!(regs < bank, "parents precede children");
+        let word = syms.group_node(g_word.0);
+        let mem = syms.node_parent(word).expect("synthesized `mem` prefix node");
+        assert_eq!(syms.node_name(mem), "mem");
+        assert_eq!(syms.node_parent(mem), None);
+        assert_eq!(syms.node_name(word), "mem/word0");
+
+        assert_eq!(syms.resolve(syms.group_head_sym(g_bank.0)), "regs");
+        assert_eq!(syms.resolve(syms.group_head_sym(g_word.0)), "mem");
+        assert_eq!(syms.resolve(syms.group_head_sym(0)), "top");
+    }
+
+    #[test]
+    fn clones_share_the_interner() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("m", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let syms = Symbols::from_module(&m);
+        let clone = syms.clone();
+        assert!(Arc::ptr_eq(syms.interner(), clone.interner()), "clone must share, not copy");
+    }
+}

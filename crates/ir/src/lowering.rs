@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
 use syndcim_pdk::CellLibrary;
 
+use crate::intern::Symbols;
+
 /// Global count of [`Lowering`] constructions (not clones), used by
 /// tests to pin the "one lowering per compiled macro" contract.
 static BUILDS: AtomicU64 = AtomicU64::new(0);
@@ -35,6 +37,13 @@ pub struct Lowering {
     conn: Connectivity,
     order: Vec<InstId>,
     net_count: usize,
+    /// Interned net/instance/group name tables (see [`Symbols`]) —
+    /// built once here and shared by every compiled artifact, so no
+    /// downstream program ever clones a `String` table again.
+    symbols: Symbols,
+    /// Whether this lowering passed the simulation backends' floating
+    /// net check ([`Lowering::validated`]).
+    validated: bool,
 }
 
 impl Lowering {
@@ -49,7 +58,8 @@ impl Lowering {
         BUILDS.fetch_add(1, Ordering::Relaxed);
         let conn = Connectivity::build(module)?;
         let order = levelize(module, lib, &conn)?;
-        Ok(Lowering { conn, order, net_count: module.net_count() })
+        let symbols = Symbols::from_module(module);
+        Ok(Lowering { conn, order, net_count: module.net_count(), symbols, validated: false })
     }
 
     /// Like [`Lowering::new`], but additionally rejects floating nets
@@ -61,9 +71,28 @@ impl Lowering {
     /// Returns an error under the same conditions as [`Lowering::new`],
     /// plus [`NetlistError::FloatingNet`] for read-but-undriven nets.
     pub fn validated(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
-        let low = Self::new(module, lib)?;
+        let mut low = Self::new(module, lib)?;
         validate(module, &low.conn)?;
+        low.validated = true;
         Ok(low)
+    }
+
+    /// `true` if this lowering was built with [`Lowering::validated`]
+    /// (i.e. the floating-net check the simulation backends require has
+    /// already passed). Consumers with the same contract —
+    /// `syndcim_sim::Simulator::with_lowering` — use this to skip a
+    /// redundant validation walk.
+    pub fn is_validated(&self) -> bool {
+        self.validated
+    }
+
+    /// The interned name tables built from the lowered module: net,
+    /// instance and group names behind one shared
+    /// [`Interner`](crate::Interner). Cloning the returned handle is a
+    /// few `Arc` bumps — this is how the compiled simulation, timing
+    /// and power programs all resolve names without owning any.
+    pub fn symbols(&self) -> &Symbols {
+        &self.symbols
     }
 
     /// Connectivity tables (drivers and sinks per net).

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use syndcim_ir::Lowering;
+use syndcim_ir::{Lowering, Symbols};
 use syndcim_netlist::{Connectivity, Module, NetlistError, PortDir};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 
@@ -67,8 +67,12 @@ pub struct PowerAnalyzer<'a> {
     pub(crate) load_ff: Vec<f64>,
     /// Internal energy of each net's driver in fJ (0 for ports/ties).
     pub(crate) driver_internal_fj: Vec<f64>,
-    /// Top-level group name per instance (for breakdowns).
-    pub(crate) inst_group_head: Vec<String>,
+    /// Interned name tables — shared with the lowering when built via
+    /// [`PowerAnalyzer::from_lowering`], interned locally otherwise.
+    /// Group heads for breakdowns resolve through here (no per-instance
+    /// `String` table), and [`PowerAnalyzer::compile`] hands the same
+    /// handles to the compiled program.
+    pub(crate) symbols: Symbols,
     /// Glitch multiplier on combinational dynamic energy.
     pub(crate) glitch_factor: f64,
     /// Clock-tree distribution overhead on top of register clock pins.
@@ -100,7 +104,7 @@ impl<'a> PowerAnalyzer<'a> {
         // them here keeps the seed's error contract (reject multi-driven
         // nets) for callers that have not lowered the module yet.
         let _conn = Connectivity::build(module)?;
-        Ok(Self::build(module, lib, wire_cap_ff))
+        Ok(Self::build(module, lib, wire_cap_ff, Symbols::from_module(module)))
     }
 
     /// Build an analyzer over an already-performed [`Lowering`] of
@@ -114,12 +118,12 @@ impl<'a> PowerAnalyzer<'a> {
         wire_cap_ff: &[f64],
     ) -> Self {
         debug_assert_eq!(low.net_count(), module.net_count(), "lowering belongs to a different module");
-        Self::build(module, lib, wire_cap_ff)
+        Self::build(module, lib, wire_cap_ff, low.symbols().clone())
     }
 
     /// The shared constructor body: per-net loads, driver internal
     /// energies and group heads in one instance pass.
-    fn build(module: &'a Module, lib: &'a CellLibrary, wire_cap_ff: &[f64]) -> Self {
+    fn build(module: &'a Module, lib: &'a CellLibrary, wire_cap_ff: &[f64], symbols: Symbols) -> Self {
         let n = module.net_count();
         let mut load = vec![0.0f64; n];
         for inst in &module.instances {
@@ -144,24 +148,23 @@ impl<'a> PowerAnalyzer<'a> {
             }
         }
 
-        let inst_group_head = module
-            .instances
-            .iter()
-            .map(|inst| {
-                let g = module.group_name(inst.group);
-                g.split('/').next().unwrap_or(g).to_string()
-            })
-            .collect();
-
         PowerAnalyzer {
             module,
             lib,
             load_ff: load,
             driver_internal_fj: driver_internal,
-            inst_group_head,
+            symbols,
             glitch_factor: 1.25,
             clock_tree_overhead: 0.30,
         }
+    }
+
+    /// Top-level group name of instance `idx` (the segment before the
+    /// first `/`), resolved through the interned tables — the key the
+    /// breakdown maps aggregate by. Identical to the seed's
+    /// `group_name(..).split('/').next()` string.
+    fn inst_group_head(&self, idx: usize) -> &str {
+        self.symbols.resolve(self.symbols.group_head_sym(self.symbols.group_of(idx)))
     }
 
     /// Override the glitch multiplier (1.0 disables glitch padding).
@@ -200,7 +203,7 @@ impl<'a> PowerAnalyzer<'a> {
             }
             inst_fj *= self.glitch_factor;
             switch_fj_total += inst_fj;
-            *by_group.entry(self.inst_group_head[idx].clone()).or_insert(0.0) += inst_fj / 1000.0;
+            *by_group.entry(self.inst_group_head(idx).to_string()).or_insert(0.0) += inst_fj / 1000.0;
         }
         // Input-port nets: charged by the external driver but loading our
         // pins still burns CV² in the receiving macro rail; count half.
@@ -233,7 +236,7 @@ impl<'a> PowerAnalyzer<'a> {
             }
             inst_fj *= self.glitch_factor;
             switch_fj_total += inst_fj;
-            *by_group.entry(self.inst_group_head[idx].clone()).or_insert(0.0) += inst_fj / 1000.0;
+            *by_group.entry(self.inst_group_head(idx).to_string()).or_insert(0.0) += inst_fj / 1000.0;
         }
         let clock_fj = self.clock_energy_fj_per_cycle(escale);
         PowerReport {

@@ -23,8 +23,9 @@
 //! `tests/power_compiled_differential.rs` on the 64×64 paper test-chip
 //! across corners, wire loads and glitch factors.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
+use syndcim_ir::{Symbol, Symbols};
 use syndcim_pdk::{OperatingPoint, Process};
 
 use crate::analyzer::{PowerAnalyzer, PowerReport};
@@ -33,10 +34,14 @@ use crate::analyzer::{PowerAnalyzer, PowerReport};
 ///
 /// Build one from a configured (wire-annotated, glitch-adjusted)
 /// [`PowerAnalyzer`] with [`PowerAnalyzer::compile`]. The compiled
-/// program owns everything it needs — including the group names used
-/// for breakdowns — so unlike [`PowerAnalyzer`] it has no borrow of the
-/// module and can be stored in long-lived structures
-/// (`syndcim_core::CompiledMacro` keeps one per implemented macro).
+/// program has no borrow of the module and can be stored in long-lived
+/// structures (`syndcim_core::CompiledMacro` keeps one per implemented
+/// macro); the group names used for breakdowns are interned
+/// [`Symbols`] shared with the lowering and resolved lazily per report
+/// — never owned `String` tables. Group membership is carried as a
+/// hierarchical parent/prefix tree over the interned group ids, so the
+/// seed-pinned top-level `by_group_pj` aggregation coexists with the
+/// [`CompiledPower::by_path_pj`] per-subcircuit drill-down.
 ///
 /// ```
 /// use syndcim_netlist::NetlistBuilder;
@@ -80,10 +85,18 @@ pub struct CompiledPower {
     out_internal_fj: Vec<f64>,
     /// Outputs of instance `i` span `inst_out_start[i]..inst_out_start[i+1]`.
     inst_out_start: Vec<u32>,
-    /// Dense group-head index per instance.
+    /// Dense group-head index per instance (top-level aggregation, the
+    /// seed semantics of `by_group_pj`).
     inst_group: Vec<u32>,
-    /// Group-head names, indexed by `inst_group` values.
-    group_names: Vec<String>,
+    /// Interned group-head names, indexed by `inst_group` values —
+    /// resolved lazily against `syms`; the program owns no name
+    /// `String`s.
+    group_head_syms: Vec<Symbol>,
+    /// Shared interned name tables (from the lowering's interner) —
+    /// also carry the hierarchical group-path tree (`group_node` /
+    /// `node_parent`) behind the [`CompiledPower::by_path_pj`]
+    /// drill-down.
+    syms: Symbols,
 
     // Input-port nets: pin load charged by the external driver.
     in_port_slot: Vec<u32>,
@@ -107,25 +120,32 @@ impl<'a> PowerAnalyzer<'a> {
     /// saves the module walk and the per-instance group-string churn.
     pub fn compile(&self) -> CompiledPower {
         let module = self.module;
+        let syms = self.symbols.clone();
         let mut out_slot = Vec::new();
         let mut out_cap_ff = Vec::new();
         let mut out_internal_fj = Vec::new();
         let mut inst_out_start = vec![0u32];
         let mut inst_group = Vec::with_capacity(module.instance_count());
-        let mut group_names: Vec<String> = Vec::new();
-        let mut group_index: BTreeMap<&str, u32> = BTreeMap::new();
+        // Dense head ids in first-encounter order — the exact dense
+        // assignment the pre-interning compiler produced from head
+        // strings, so the `by_group_pj` accumulation order (and thus
+        // its floating-point result) is unchanged. Interning makes
+        // symbol equality string equality, so keying by `Symbol` is
+        // keying by name.
+        let mut group_head_syms: Vec<Symbol> = Vec::new();
+        let mut head_index: HashMap<Symbol, u32> = HashMap::new();
 
-        for (idx, inst) in module.instances.iter().enumerate() {
+        for inst in module.instances.iter() {
             for &net in &inst.outputs {
                 out_slot.push(net.index() as u32);
                 out_cap_ff.push(self.load_ff[net.index()]);
                 out_internal_fj.push(self.driver_internal_fj[net.index()]);
             }
             inst_out_start.push(out_slot.len() as u32);
-            let head = self.inst_group_head[idx].as_str();
-            let g = *group_index.entry(head).or_insert_with(|| {
-                group_names.push(head.to_string());
-                group_names.len() as u32 - 1
+            let head = syms.group_head_sym(inst.group.0);
+            let g = *head_index.entry(head).or_insert_with(|| {
+                group_head_syms.push(head);
+                group_head_syms.len() as u32 - 1
             });
             inst_group.push(g);
         }
@@ -145,7 +165,8 @@ impl<'a> PowerAnalyzer<'a> {
             out_internal_fj,
             inst_out_start,
             inst_group,
-            group_names,
+            group_head_syms,
+            syms,
             in_port_slot,
             in_port_load_ff,
             clock_regs_fj,
@@ -164,7 +185,19 @@ impl CompiledPower {
 
     /// Number of top-level groups in the breakdown table.
     pub fn group_count(&self) -> usize {
-        self.group_names.len()
+        self.group_head_syms.len()
+    }
+
+    /// Number of nodes in the hierarchical group-path tree (full paths
+    /// plus their ancestors; always ≥ [`CompiledPower::group_count`]).
+    pub fn path_count(&self) -> usize {
+        self.syms.node_count()
+    }
+
+    /// The interned name tables group breakdowns resolve against
+    /// (shared with the lowering this program was compiled from).
+    pub fn symbols(&self) -> &Symbols {
+        &self.syms
     }
 
     /// Power from measured per-net toggle counts over `cycles` cycles
@@ -233,7 +266,7 @@ impl CompiledPower {
         let escale = self.process.energy_scale(op.vdd_v);
         let v = op.vdd_v;
 
-        let mut by_group = vec![0.0f64; self.group_names.len()];
+        let mut by_group = vec![0.0f64; self.group_head_syms.len()];
         let mut switch_fj_total = 0.0f64;
         for (i, &g) in self.inst_group.iter().enumerate() {
             let (s, e) = (self.inst_out_start[i] as usize, self.inst_out_start[i + 1] as usize);
@@ -261,8 +294,55 @@ impl CompiledPower {
         let energy_per_cycle_pj = (switch_fj_total + clock_fj) / 1000.0;
         let dynamic_uw = switch_fj_total * freq_mhz * 1e-3;
         let clock_uw = clock_fj * freq_mhz * 1e-3;
-        let by_group_pj: BTreeMap<String, f64> = self.group_names.iter().cloned().zip(by_group).collect();
+        // Names materialize only here, per report — the program stores
+        // interned symbols, never owned group-name strings.
+        let by_group_pj: BTreeMap<String, f64> =
+            self.group_head_syms.iter().map(|&s| self.syms.resolve(s).to_string()).zip(by_group).collect();
         PowerReport { dynamic_uw, clock_uw, leakage_uw, energy_per_cycle_pj, freq_mhz, by_group_pj }
+    }
+
+    /// Hierarchical drill-down of the dynamic switching energy: one
+    /// entry per full group path (e.g. `"regs"` *and* `"regs/bank0"`),
+    /// in pJ/cycle, where every node **includes its descendants** — so
+    /// a root entry equals the corresponding [`PowerReport::by_group_pj`]
+    /// head total (up to floating-point accumulation order) and
+    /// drilling one level deeper splits it by subcircuit.
+    ///
+    /// Top-level aggregation semantics are untouched: `report*` still
+    /// produce the seed-pinned `by_group_pj`; this accessor is the new
+    /// per-subcircuit view over the same interned group-path tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` or the toggle table is shorter than the
+    /// net count.
+    pub fn by_path_pj(&self, toggles: &[u64], cycles: u64, op: OperatingPoint) -> BTreeMap<String, f64> {
+        assert!(cycles > 0, "need at least one simulated cycle");
+        assert!(toggles.len() >= self.net_count, "toggle table too short");
+        let escale = self.process.energy_scale(op.vdd_v);
+        let v = op.vdd_v;
+        let mut by_path = vec![0.0f64; self.syms.node_count()];
+        for i in 0..self.inst_group.len() {
+            let node = self.syms.group_node(self.syms.group_of(i));
+            let (s, e) = (self.inst_out_start[i] as usize, self.inst_out_start[i + 1] as usize);
+            let mut inst_fj = 0.0;
+            for k in s..e {
+                let t = toggles[self.out_slot[k] as usize] as f64 / cycles as f64;
+                inst_fj += t * (0.5 * self.out_cap_ff[k] * v * v + self.out_internal_fj[k] * escale);
+            }
+            by_path[node as usize] += inst_fj * self.glitch_factor / 1000.0;
+        }
+        // Parent node ids precede their children's by construction:
+        // one reverse pass rolls every subtree up into its ancestors.
+        for i in (0..by_path.len()).rev() {
+            if let Some(parent) = self.syms.node_parent(i as u32) {
+                let v = by_path[i];
+                by_path[parent as usize] += v;
+            }
+        }
+        (0..self.syms.node_count() as u32)
+            .map(|n| (self.syms.node_name(n).to_string(), by_path[n as usize]))
+            .collect()
     }
 }
 
@@ -348,6 +428,30 @@ mod tests {
             assert_eq!(got.total_uw(), want.total_uw());
             assert_eq!(got.by_group_pj, want.by_group_pj);
         }
+    }
+
+    #[test]
+    fn by_path_pj_drills_down_and_roots_match_group_totals() {
+        let (m, lib) = toggler();
+        let (toggles, cycles) = measured_toggles(&m, &lib);
+        let cp = PowerAnalyzer::new(&m, &lib).unwrap().compile();
+        let op = OperatingPoint::at_voltage(0.9);
+        let by_group = cp.report(&toggles, cycles, 800.0, op).by_group_pj;
+        let by_path = cp.by_path_pj(&toggles, cycles, op);
+
+        assert!(cp.path_count() >= cp.group_count(), "paths include every head plus descendants");
+        for key in ["top", "datapath", "regs", "regs/bank0"] {
+            assert!(by_path.contains_key(key), "missing path `{key}`: {by_path:?}");
+        }
+        // Root entries equal the seed-pinned head totals (modulo
+        // accumulation order).
+        for (head, &pj) in &by_group {
+            let root = by_path[head];
+            assert!((root - pj).abs() <= 1e-12 * pj.abs().max(1.0), "{head}: {root} vs {pj}");
+        }
+        // `regs` has no direct instances, so its rollup equals its only
+        // child exactly.
+        assert_eq!(by_path["regs"], by_path["regs/bank0"]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use syndcim_ir::Lowering;
 use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
 use syndcim_pdk::{CellLibrary, SeqUpdate};
 
@@ -41,6 +42,37 @@ impl<'a> Simulator<'a> {
         let conn = Connectivity::build(module)?;
         validate(module, &conn)?;
         let order = levelize(module, lib, &conn)?;
+        Ok(Self::build(module, lib, order))
+    }
+
+    /// Build a simulator over an already-performed
+    /// [`Lowering`] of `module`, mirroring `Sta::with_lowering` /
+    /// `PowerAnalyzer::from_lowering` — the shared-IR path: the
+    /// connectivity walk and levelization are reused, so differential
+    /// tests that run many interpreter instances against one compiled
+    /// program stop paying a redundant traversal per instantiation.
+    /// The lowering must have been built from the same `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::FloatingNet`] if the lowering was built
+    /// with `Lowering::new` (which tolerates floating reads) and the
+    /// module violates the stricter simulation contract; a lowering
+    /// from `Lowering::validated` skips that re-check entirely.
+    pub fn with_lowering(
+        module: &'a Module,
+        lib: &'a CellLibrary,
+        low: &Lowering,
+    ) -> Result<Self, NetlistError> {
+        debug_assert_eq!(low.net_count(), module.net_count(), "lowering belongs to a different module");
+        if !low.is_validated() {
+            validate(module, low.connectivity())?;
+        }
+        Ok(Self::build(module, lib, low.order().to_vec()))
+    }
+
+    /// Shared constructor body over a known-good levelized order.
+    fn build(module: &'a Module, lib: &'a CellLibrary, order: Vec<InstId>) -> Self {
         let seq_insts = module
             .instances
             .iter()
@@ -49,7 +81,7 @@ impl<'a> Simulator<'a> {
             .map(|(i, _)| InstId(i as u32))
             .collect();
         let port_by_name = module.ports.iter().map(|p| (p.name.clone(), p.net)).collect();
-        Ok(Simulator {
+        Simulator {
             module,
             lib,
             order,
@@ -59,7 +91,7 @@ impl<'a> Simulator<'a> {
             cycles: 0,
             port_by_name,
             seq_insts,
-        })
+        }
     }
 
     /// The module being simulated.
@@ -354,6 +386,40 @@ mod tests {
         sim.reset_activity();
         assert_eq!(sim.toggles_of(y_net), 0);
         assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn with_lowering_matches_new_and_skips_revalidation() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("wl", &lib);
+        let a = b.input("a");
+        let x = b.not(a);
+        let q = b.dff(x);
+        b.output("q", q);
+        let m = b.finish();
+        let low = Lowering::validated(&m, &lib).unwrap();
+
+        let mut fresh = Simulator::new(&m, &lib).unwrap();
+        let mut shared = Simulator::with_lowering(&m, &lib, &low).unwrap();
+        for i in 0..20 {
+            fresh.set("a", i % 3 == 0);
+            shared.set("a", i % 3 == 0);
+            fresh.step();
+            shared.step();
+            assert_eq!(fresh.get("q"), shared.get("q"), "cycle {i}");
+        }
+        assert_eq!(fresh.toggle_table(), shared.toggle_table(), "toggles must be bit-identical");
+
+        // An unvalidated lowering of a floating-read module is rejected
+        // with the simulator's own contract.
+        let mut b = NetlistBuilder::new("float", &lib);
+        let dangling = b.net("dangling");
+        let y = b.not(dangling);
+        b.output("y", y);
+        let m = b.finish();
+        let low = Lowering::new(&m, &lib).unwrap();
+        assert!(!low.is_validated());
+        assert!(Simulator::with_lowering(&m, &lib, &low).is_err(), "floating reads must be rejected");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! `tests/sta_compiled_differential.rs` and in the shmoo regression
 //! suite.
 
-use syndcim_ir::parallel_map;
+use syndcim_ir::{parallel_map, Symbols};
 use syndcim_pdk::{OperatingPoint, Process};
 
 use crate::{PathStep, Sta, TimingReport};
@@ -42,11 +42,12 @@ const FMAX_PARALLEL_CHUNK: usize = 8;
 /// A timing analyzer compiled into struct-of-arrays form.
 ///
 /// Build one from a configured (wire-annotated) [`Sta`] with
-/// [`Sta::compile`]. The compiled program owns everything it needs —
-/// including the net/instance names used for critical-path reports — so
-/// unlike [`Sta`] it has no borrow of the module and can be stored in
-/// long-lived structures (`syndcim_core::ImplementedMacro` keeps one
-/// per implemented macro).
+/// [`Sta::compile`]. The compiled program has no borrow of the module
+/// and can be stored in long-lived structures
+/// (`syndcim_core::ImplementedMacro` keeps one per implemented macro);
+/// the net/instance names used for critical-path reports are interned
+/// [`Symbols`] shared with the lowering and resolved lazily — never
+/// owned `String` tables.
 ///
 /// ```
 /// use syndcim_netlist::NetlistBuilder;
@@ -106,10 +107,13 @@ pub struct CompiledSta {
     seq_end_slot: Vec<u32>,
     seq_end_setup_ps: Vec<f64>,
 
-    // Name tables for critical-path reconstruction.
-    net_names: Vec<String>,
-    inst_names: Vec<String>,
-    inst_groups: Vec<String>,
+    /// Interned net/instance/group names for critical-path
+    /// reconstruction — shared `Arc` handles into the lowering's
+    /// [`Symbols`], resolved lazily when a report is built. The
+    /// compiled program owns **no** `String` tables: on a 10⁶-net macro
+    /// the name footprint is the 4-byte symbol tables plus one shared
+    /// interner, instead of three owned string clones per element.
+    syms: Symbols,
 }
 
 impl<'a> Sta<'a> {
@@ -185,13 +189,10 @@ impl<'a> Sta<'a> {
             port_end_slot,
             seq_end_slot,
             seq_end_setup_ps,
-            net_names: module.nets.iter().map(|net| net.name.clone()).collect(),
-            inst_names: module.instances.iter().map(|inst| inst.name.clone()).collect(),
-            inst_groups: module
-                .instances
-                .iter()
-                .map(|inst| module.group_name(inst.group).to_string())
-                .collect(),
+            // A few Arc bumps — the lowering's interned tables are
+            // shared, not cloned (ROADMAP: "interned names would shrink
+            // the program if macros grow to ~10⁶ nets").
+            syms: self.low.symbols().clone(),
         }
     }
 }
@@ -215,6 +216,12 @@ impl CompiledSta {
     /// Number of compiled timing arcs (diagnostics).
     pub fn arc_count(&self) -> usize {
         self.arc_src.len()
+    }
+
+    /// The interned name tables critical-path reports resolve against
+    /// (shared with the lowering this program was compiled from).
+    pub fn symbols(&self) -> &Symbols {
+        &self.syms
     }
 
     /// Analyze at the nominal operating point against `period_ps`
@@ -410,16 +417,16 @@ impl CompiledSta {
                 steps.push(PathStep {
                     through: "<port>".to_string(),
                     group: "top".to_string(),
-                    net: self.net_names[cur].clone(),
+                    net: self.syms.net_name(cur).to_string(),
                     arrival_ps: arrival[cur],
                 });
                 break;
             }
             let from = pred_from[cur] as usize;
             steps.push(PathStep {
-                through: self.inst_names[inst as usize].clone(),
-                group: self.inst_groups[inst as usize].clone(),
-                net: self.net_names[cur].clone(),
+                through: self.syms.inst_name(inst as usize).to_string(),
+                group: self.syms.group_name(self.syms.group_of(inst as usize)).to_string(),
+                net: self.syms.net_name(cur).to_string(),
                 arrival_ps: arrival[cur],
             });
             if from == cur {

@@ -16,7 +16,7 @@
 
 use rand::Rng;
 use syndcim_core::{assemble, DesignChoice, MacroSpec};
-use syndcim_engine::{BatchSim, EngineSim, Program};
+use syndcim_engine::{BatchSim, EngineSim, Lowering, Program};
 use syndcim_netlist::NetId;
 use syndcim_sim::golden::{bit_serial_schedule, twos_complement_bit, DcimChannelTrace};
 use syndcim_sim::vectors::{random_ints, seeded_rng};
@@ -28,7 +28,11 @@ fn engine_matches_interpreter_on_paper_test_chip_random_stimulus() {
     let spec = MacroSpec::paper_test_chip();
     let mac = assemble(&lib, &spec, &DesignChoice::default());
     let module = &mac.module;
-    let prog = Program::compile(module, &lib).unwrap();
+    // One lowering shared by the compiled program AND every reference
+    // interpreter instance below (`Simulator::with_lowering`) — the
+    // per-lane runs stop paying a redundant connectivity walk each.
+    let low = Lowering::validated(module, &lib).unwrap();
+    let prog = Program::from_lowering(&low, module, &lib);
 
     let lanes = 4usize;
     let cycles = 16usize;
@@ -62,7 +66,7 @@ fn engine_matches_interpreter_on_paper_test_chip_random_stimulus() {
     // the engine's table.
     let mut ref_toggles = vec![0u64; module.net_count()];
     for (l, stim) in stimulus.iter().enumerate() {
-        let mut sim = Simulator::new(module, &lib).unwrap();
+        let mut sim = Simulator::with_lowering(module, &lib, &low).unwrap();
         for (c, bits) in stim.iter().enumerate() {
             for (pi, &net) in in_nets.iter().enumerate() {
                 sim.poke(net, bits[pi]);
@@ -102,7 +106,8 @@ fn wide_backend_matches_u64_backend_and_interpreter_on_paper_test_chip() {
     let spec = MacroSpec::paper_test_chip();
     let mac = assemble(&lib, &spec, &DesignChoice::default());
     let module = &mac.module;
-    let prog = Program::compile(module, &lib).unwrap();
+    let low = Lowering::validated(module, &lib).unwrap();
+    let prog = Program::from_lowering(&low, module, &lib);
 
     let lanes = 256usize;
     let cycles = 6usize;
@@ -173,7 +178,7 @@ fn wide_backend_matches_u64_backend_and_interpreter_on_paper_test_chip() {
 
     // Interpreter spot-check on lanes straddling every word boundary.
     for l in [0usize, 63, 64, 127, 128, 191, 192, 255] {
-        let mut sim = Simulator::new(module, &lib).unwrap();
+        let mut sim = Simulator::with_lowering(module, &lib, &low).unwrap();
         for (c, snap) in snapshots.iter().enumerate() {
             for (pi, &net) in in_nets.iter().enumerate() {
                 sim.poke(net, stimulus[l][c][pi]);
