@@ -13,7 +13,9 @@
 //! * the `u64` engine is not ≥ 10× the interpreter (PR 1's bar),
 //! * the 256-lane wide backend is not ≥ 2× the `u64` backend,
 //! * engine-backed SCL characterization is not ≥ 2× the seed's
-//!   interpreter-backed path.
+//!   interpreter-backed path,
+//! * disabled-mode telemetry costs more than 2% of the baseline's
+//!   `engine64_vps` (`BENCH_baseline.json`).
 //!
 //! All measured numbers are also written to `BENCH_engine.json`
 //! (override the path with the `BENCH_ENGINE_JSON` env var) so CI can
@@ -58,6 +60,11 @@ fn warm_scl(scl: &mut Scl) {
 }
 
 fn bench_engine(c: &mut Criterion) {
+    // The hot loops below are instrumented with telemetry sites; this
+    // bench measures (and guards) their *disabled* cost, so pin the
+    // mode regardless of the ambient `SYNDCIM_TRACE`.
+    syndcim_telemetry::set_mode(syndcim_telemetry::Mode::Off);
+
     let lib = CellLibrary::syn40();
     let spec = MacroSpec::paper_test_chip();
     let mac = assemble(&lib, &spec, &DesignChoice::default());
@@ -143,8 +150,21 @@ fn bench_engine(c: &mut Criterion) {
     });
     println!("search 16x16: cold {search_cold_ms:>9.1} ms   warm {search_warm_ms:>9.1} ms");
 
+    // Disabled-telemetry overhead guard: the instrumented engine, with
+    // collection off, must hold the baseline's u64 vector throughput to
+    // within 2% (instrumentation cost = one relaxed atomic load per
+    // settle, amortized over 64 lanes).
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map(|text| syndcim_bench::parse_bench_artifact(&text))
+        .unwrap_or_default();
+    let telemetry_overhead_pct = baseline
+        .get("engine64_vps")
+        .map_or(0.0, |&base_vps| ((base_vps - engine64_vps) / base_vps * 100.0).max(0.0));
+    println!("telemetry off-mode overhead vs baseline: {telemetry_overhead_pct:.2}% of engine64 vps");
+
     syndcim_bench::merge_bench_artifact(
-        &["interpreter_", "engine", "scl_", "search_"],
+        &["interpreter_", "engine", "scl_", "search_", "telemetry_"],
         &[
             ("interpreter_vps", interp_vps),
             ("engine64_vps", engine64_vps),
@@ -156,7 +176,13 @@ fn bench_engine(c: &mut Criterion) {
             ("scl_speedup", scl_ratio),
             ("search_cold_ms", search_cold_ms),
             ("search_warm_ms", search_warm_ms),
+            ("telemetry_disabled_overhead_pct", telemetry_overhead_pct),
         ],
+    );
+
+    assert!(
+        telemetry_overhead_pct <= 2.0,
+        "disabled telemetry must cost <= 2% of baseline engine64 throughput, lost {telemetry_overhead_pct:.2}%"
     );
 
     assert!(ratio64 >= 10.0, "u64 engine must deliver >= 10x vector throughput, got {ratio64:.1}x");

@@ -35,6 +35,7 @@ use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
 use syndcim_sim::golden::{bit_serial_schedule, fp_align, int_dot, twos_complement_bit, DcimChannelTrace};
 use syndcim_sim::{FpValue, Precision, SimBackend, Simulator};
+use syndcim_telemetry as telemetry;
 
 use crate::assemble::MacroNetlist;
 use crate::error::CoreError;
@@ -217,13 +218,17 @@ pub(crate) fn int_activity(
         |lane_acts: &Vec<i64>, ch: usize| DcimChannelTrace::run(lane_acts, &weights[ch], pa, pa).output;
     match backend {
         EvalBackend::Interpreter => {
+            telemetry::span!("eval.int.interpreter");
             // Each measurement pass is an independent vector sample from
             // the quiesced state — the same condition an engine lane
             // sees, so both backends produce bit-identical activity.
+            // Every instance rides the macro's shared lowering (same
+            // levelize order, shared symbol-keyed port table — no owned
+            // name map per pass).
             let results: Vec<Result<Activity, CoreError>> = passes
                 .iter()
                 .map(|acts| {
-                    let mut sim = Simulator::new(&mac.module, lib)?;
+                    let mut sim = Simulator::with_lowering(&mac.module, lib, &im.compiled.lowering)?;
                     setup_int(&mut sim, mac, pa, weights);
                     run_pass_lanes(&mut sim, mac, pa, std::slice::from_ref(acts));
                     let checked = check_channels(&sim, mac, pa, pa, std::slice::from_ref(acts), &golden)?;
@@ -237,6 +242,7 @@ pub(crate) fn int_activity(
             merge_activities(mac, results)
         }
         EvalBackend::Engine => {
+            telemetry::span!("eval.int.engine");
             let prog = &im.compiled.program;
             let chunks: Vec<&[Vec<i64>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
@@ -362,7 +368,7 @@ pub fn measure_fp_with(
             let results: Vec<Result<Activity, CoreError>> = passes
                 .iter()
                 .map(|acts| {
-                    let mut sim = Simulator::new(&mac.module, lib)?;
+                    let mut sim = Simulator::with_lowering(&mac.module, lib, &im.compiled.lowering)?;
                     setup_fp(&mut sim, mac, pw, &aligned_w);
                     run_chunk(&mut sim, std::slice::from_ref(acts))
                 })
@@ -475,7 +481,7 @@ pub fn measure_weight_update_patterns(
         EvalBackend::Interpreter => {
             let mut acts = Vec::with_capacity(patterns);
             for l in 0..patterns {
-                let mut sim = Simulator::new(&mac.module, lib)?;
+                let mut sim = Simulator::with_lowering(&mac.module, lib, &im.compiled.lowering)?;
                 acts.push(run_weight_update(&mut sim, mac, pattern_seed(seed, l as u64))?);
             }
             acts

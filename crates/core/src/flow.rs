@@ -6,6 +6,16 @@ use syndcim_layout::{check_drc, extract_wires, place, FloorplanConfig, Placement
 use syndcim_netlist::{optimize, OptReport};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_sta::{Sta, TimingReport, WireLoads};
+use syndcim_telemetry as telemetry;
+
+/// The run report attached to every [`ImplementedMacro`]: the merged
+/// telemetry span tree plus every counter/gauge/histogram value at the
+/// end of the flow, snapshotted from `syndcim_telemetry`. Empty when
+/// telemetry is off (`SYNDCIM_TRACE` unset); serialize with
+/// [`syndcim_telemetry::Report::to_json`] (deterministic schema — no
+/// wall-clock in structural fields) or render with
+/// [`syndcim_telemetry::Report::render`].
+pub type FlowReport = telemetry::Report;
 
 use crate::assemble::{assemble, MacroNetlist};
 use crate::compiled::CompiledMacro;
@@ -77,6 +87,10 @@ pub struct ImplementedMacro {
     /// every later query (evaluation, shmoo grids, `fmax` sweeps,
     /// power annotation).
     pub compiled: CompiledMacro,
+    /// Telemetry snapshot taken when the flow finished: phase span tree
+    /// (`implement.assemble` … `implement.signoff`), compile-time
+    /// counters and retained-bytes gauges. Empty when telemetry is off.
+    pub report: FlowReport,
 }
 
 impl ImplementedMacro {
@@ -163,17 +177,33 @@ pub fn implement_with(
     choice: &DesignChoice,
     backend: StaBackend,
 ) -> Result<ImplementedMacro, CoreError> {
+    telemetry::span!("implement");
     spec.validate()?;
-    let mut mac = assemble(lib, spec, choice);
+    let mut mac = {
+        telemetry::span!("implement.assemble");
+        assemble(lib, spec, choice)
+    };
 
     // "Synthesis": constant folding + dead-gate sweep over the generated
     // structure.
-    let synth_report = optimize(&mut mac.module, lib);
+    let synth_report = {
+        telemetry::span!("implement.optimize");
+        optimize(&mut mac.module, lib)
+    };
 
     // SDP place-and-route + checks.
-    let placement = place(&mac.module, lib, FloorplanConfig::default())?;
-    check_drc(&mac.module, &placement)?;
-    let wires = extract_wires(&mac.module, lib, &placement)?;
+    let placement = {
+        telemetry::span!("implement.place");
+        place(&mac.module, lib, FloorplanConfig::default())?
+    };
+    {
+        telemetry::span!("implement.drc");
+        check_drc(&mac.module, &placement)?;
+    }
+    let wires = {
+        telemetry::span!("implement.wires");
+        extract_wires(&mac.module, lib, &placement)?
+    };
 
     // Post-layout sign-off at the spec corner: lower the wire-annotated
     // netlist exactly once and compile all three analysis programs
@@ -181,19 +211,26 @@ pub fn implement_with(
     // with the macro so evaluation, shmoo grids, fmax sweeps and power
     // annotation never re-walk the netlist.
     let wire_loads = WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() };
-    let compiled = CompiledMacro::compile(&mac.module, lib, &wire_loads)?;
+    let compiled = {
+        telemetry::span!("implement.compile");
+        CompiledMacro::compile(&mac.module, lib, &wire_loads)?
+    };
     let (period, op) = (spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
-    let timing = match backend {
-        StaBackend::Compiled => compiled.sta.analyze_at(period, op),
-        // The reference arm reuses the bundle's lowering (a clone is a
-        // memcpy, not a walk) so the one-lowering contract holds on
-        // both backends.
-        StaBackend::Reference => Sta::with_lowering(&mac.module, lib, compiled.lowering.clone())
-            .with_wire_loads(wire_loads)
-            .analyze_at(period, op),
+    let timing = {
+        telemetry::span!("implement.signoff");
+        match backend {
+            StaBackend::Compiled => compiled.sta.analyze_at(period, op),
+            // The reference arm reuses the bundle's lowering (a clone is
+            // a memcpy, not a walk) so the one-lowering contract holds
+            // on both backends.
+            StaBackend::Reference => Sta::with_lowering(&mac.module, lib, compiled.lowering.clone())
+                .with_wire_loads(wire_loads)
+                .analyze_at(period, op),
+        }
     };
 
-    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone(), compiled })
+    let report = telemetry::snapshot();
+    Ok(ImplementedMacro { mac, placement, wires, synth_report, timing, spec: spec.clone(), compiled, report })
 }
 
 #[cfg(test)]

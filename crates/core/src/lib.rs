@@ -59,7 +59,7 @@ pub use eval::{
     measure_weight_update_patterns, measure_weight_update_with, EvalBackend, MacMeasurement,
     WeightUpdateMeasurement, DEFAULT_WU_PATTERNS,
 };
-pub use flow::{implement, implement_with, ImplementedMacro, PowerBackend, StaBackend};
+pub use flow::{implement, implement_with, FlowReport, ImplementedMacro, PowerBackend, StaBackend};
 pub use pareto::pareto_frontier;
 pub use search::{search, SearchResult};
 pub use shmoo::{shmoo, shmoo_with, shmoo_with_power, shmoo_with_power_on, PowerShmoo, Shmoo};

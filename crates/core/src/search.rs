@@ -22,6 +22,7 @@ use syndcim_pdk::OperatingPoint;
 use syndcim_scl::Scl;
 use syndcim_sim::Precision;
 use syndcim_subckt::{AdderTreeConfig, AdderTreeKind, BitcellKind, MultMuxKind, OfuConfig, ShiftAddConfig};
+use syndcim_telemetry as telemetry;
 
 use crate::arithmetic_support::count_bits;
 use crate::design::{DesignChoice, DesignPoint, PpaEstimate};
@@ -95,6 +96,7 @@ impl StageDelays {
 /// — feasible list, frontier, rejection count and the final cache — is
 /// identical to the sequential evaluation order.
 pub fn search(spec: &MacroSpec, scl: &mut Scl) -> SearchResult {
+    telemetry::span!("search");
     // Constraints are specified at spec.vdd_v: scale nominal-corner SCL
     // delays to that supply.
     let scale = scl.cell_library().process().delay_scale(spec.vdd_v);
@@ -135,8 +137,10 @@ pub fn search(spec: &MacroSpec, scl: &mut Scl) -> SearchResult {
         })
         .collect();
 
+    telemetry::counter("search.sites").add(sites.len() as u64);
     let base: &Scl = scl;
     let site_results = parallel_map(sites, |_, (bitcell, multmux)| {
+        telemetry::span!("search.site");
         let mut local = base.clone();
         let r = search_site(spec, &mut local, bitcell, multmux, scale, period, wu_period);
         (r, local)
@@ -179,8 +183,10 @@ fn search_site(
     // baseline rides along so it stays searchable.
     let mut ladder = AdderTreeKind::speed_ladder(MAX_FA_ROUNDS);
     ladder.push(AdderTreeKind::RcaTree);
+    let ladder_steps = telemetry::counter("search.ladder_steps");
     let mut found_for_site = false;
     for kind in ladder {
+        ladder_steps.incr();
         let mut choice = DesignChoice { bitcell, multmux, tree_kind: kind, ..DesignChoice::default() };
 
         // --- MAC-path loop: retime, then split ---------------
@@ -251,6 +257,7 @@ fn search_site(
         rejected += 1;
     }
 
+    telemetry::counter("search.pruned").add(rejected as u64);
     SiteResult { feasible, rejected }
 }
 

@@ -8,6 +8,7 @@
 
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::PowerAnalyzer;
+use syndcim_telemetry as telemetry;
 
 use crate::error::CoreError;
 use crate::eval::{int_activity, EvalBackend};
@@ -75,6 +76,9 @@ pub fn shmoo_with(
     freqs_mhz: &[f64],
     backend: StaBackend,
 ) -> Shmoo {
+    telemetry::span!("shmoo");
+    telemetry::counter("shmoo.grids").incr();
+    telemetry::counter("shmoo.points").add((voltages.len() * freqs_mhz.len()) as u64);
     // `fmax` per voltage; `None` below the bitcell retention limit.
     let fmaxes: Vec<Option<f64>> = match backend {
         StaBackend::Compiled => {
@@ -178,6 +182,7 @@ pub fn shmoo_with_power_on(
     sta: StaBackend,
     power: PowerBackend,
 ) -> Result<PowerShmoo, CoreError> {
+    telemetry::span!("shmoo.power");
     let grid = shmoo_with(im, lib, voltages, freqs_mhz, sta);
     let activity = int_activity(im, lib, pa, passes, weights, EvalBackend::Engine)?;
     let cycles = activity.lane_cycles.max(1);

@@ -12,6 +12,7 @@
 
 use syndcim_netlist::{Module, NetlistError};
 use syndcim_pdk::{CellFunction, CellLibrary};
+use syndcim_telemetry as telemetry;
 
 use syndcim_ir::Lowering;
 
@@ -37,6 +38,7 @@ impl Program {
     /// timing program from the same traversal) skip re-levelizing the
     /// netlist.
     pub fn from_lowering(low: &Lowering, module: &Module, lib: &CellLibrary) -> Program {
+        telemetry::span!("engine.compile");
         let net_count = low.net_count();
         let scratch = net_count as u32;
         let mut ops = Vec::new();
@@ -130,14 +132,17 @@ impl Program {
             commits.push(Commit { update: seq.update, in0, in1, q: inst.outputs[0].index() as u32 });
         }
 
-        Program {
+        let prog = Program {
             net_count,
             slot_count: net_count + SCRATCH_SLOTS,
             ops,
             commits,
             seq_of_inst,
             syms: low.symbols().clone(),
-        }
+        };
+        telemetry::counter("engine.ops_emitted").add(prog.op_count() as u64);
+        telemetry::gauge("engine.retained_bytes").set(prog.retained_bytes() as u64);
+        prog
     }
 }
 

@@ -18,6 +18,7 @@
 use syndcim_netlist::{InstId, Module, NetId};
 use syndcim_pdk::SeqUpdate;
 use syndcim_sim::SimBackend;
+use syndcim_telemetry as telemetry;
 
 use crate::program::{Op, Program};
 use crate::word::{LaneWord, W256};
@@ -44,6 +45,14 @@ pub struct BatchExec<'a, W: LaneWord> {
     lanes: usize,
     mask: W,
     lane_cycles: u64,
+    /// Cached telemetry handles, resolved once per executor so the
+    /// settle hot path pays one relaxed atomic load per *pass* (never
+    /// per op) when telemetry is off. Toggle and lane-cycle totals are
+    /// flushed in bulk on [`BatchExec::reset_activity`]/drop instead of
+    /// being counted per write — the per-op `write` path carries no
+    /// instrumentation at all.
+    ctr_settles: telemetry::Counter,
+    ctr_ops: telemetry::Counter,
 }
 
 /// The 64-lane executor (one `u64` per slot).
@@ -66,6 +75,7 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
     pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
         assert_eq!(prog.net_count, module.net_count(), "program/module net-count mismatch");
         assert_eq!(prog.seq_of_inst.len(), module.instance_count(), "program/module instance-count mismatch");
+        telemetry::counter("engine.executors").incr();
         BatchExec {
             prog,
             module,
@@ -77,6 +87,19 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
             lanes,
             mask: W::mask(lanes),
             lane_cycles: 0,
+            ctr_settles: telemetry::counter("engine.settles"),
+            ctr_ops: telemetry::counter("engine.ops_executed"),
+        }
+    }
+
+    /// Add the activity accumulated since the last reset (toggle total
+    /// across all nets, lane-cycles) to the flow-wide telemetry
+    /// counters. Called from [`BatchExec::reset_activity`] and on drop,
+    /// so totals are exact without any per-write instrumentation.
+    fn flush_activity_telemetry(&self) {
+        if telemetry::enabled() {
+            telemetry::counter("engine.toggles").add(self.toggles.iter().sum());
+            telemetry::counter("engine.lane_cycles").add(self.lane_cycles);
         }
     }
 
@@ -195,6 +218,8 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
     }
 
     fn settle(&mut self) {
+        self.ctr_settles.incr();
+        self.ctr_ops.add(self.prog.ops.len() as u64);
         // One linear pass over the levelized op stream.
         for k in 0..self.prog.ops.len() {
             let op = self.prog.ops[k];
@@ -277,6 +302,7 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
     }
 
     fn reset_activity(&mut self) {
+        self.flush_activity_telemetry();
         self.toggles.iter_mut().for_each(|t| *t = 0);
         if let Some(lt) = &mut self.lane_toggles {
             lt.iter_mut().for_each(|t| *t = 0);
@@ -286,6 +312,19 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
 
     fn toggle_table(&self) -> &[u64] {
         &self.toggles
+    }
+
+    fn net_of(&self, port: &str) -> NetId {
+        // Binary search on the lowering's shared sorted port table —
+        // replaces the default linear scan over `module.ports` and
+        // needs no per-executor name map.
+        self.prog.syms.port_net(port).map(NetId).unwrap_or_else(|| panic!("no port named `{port}`"))
+    }
+}
+
+impl<W: LaneWord> Drop for BatchExec<'_, W> {
+    fn drop(&mut self) {
+        self.flush_activity_telemetry();
     }
 }
 
@@ -440,5 +479,9 @@ impl SimBackend for EngineSim<'_> {
 
     fn toggle_table(&self) -> &[u64] {
         delegate!(self, s => s.toggle_table())
+    }
+
+    fn net_of(&self, port: &str) -> NetId {
+        delegate!(self, s => s.net_of(port))
     }
 }

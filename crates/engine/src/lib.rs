@@ -71,7 +71,7 @@ pub mod word;
 
 pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
 pub use program::Program;
-pub use syndcim_ir::{default_threads, parallel_map, Lowering, Symbol, Symbols};
+pub use syndcim_ir::{default_threads, parallel_map, parallel_map_threads, Lowering, Symbol, Symbols};
 pub use word::{LaneWord, W256};
 
 #[cfg(test)]

@@ -98,6 +98,20 @@ impl Program {
         &self.syms
     }
 
+    /// Retained heap bytes of the compiled program: the op stream, the
+    /// commit table, the instance→sequential map, plus its share of the
+    /// interned name tables (which are `Arc`-shared with the lowering
+    /// and the other compiled artifacts of the same macro, so the name
+    /// layer is counted once per holder, not duplicated per holder).
+    /// Reported as the `engine.retained_bytes` telemetry gauge at
+    /// compile time.
+    pub fn retained_bytes(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<Op>()
+            + self.commits.len() * std::mem::size_of::<Commit>()
+            + self.seq_of_inst.len() * std::mem::size_of::<u32>()
+            + self.syms.heap_bytes()
+    }
+
     /// Name of the net mirrored by `slot`, or `None` for scratch slots
     /// (`net_count..slot_count`), resolved lazily against the shared
     /// interner.

@@ -170,6 +170,12 @@ pub struct Symbols {
     /// Parent node per node; `NO_PARENT` for hierarchy roots (the
     /// roots are exactly the top-level heads).
     node_parent: Arc<[u32]>,
+    /// Boundary-port symbols, sorted by port name — the shared lookup
+    /// table behind [`Symbols::port_net`], so simulation backends stop
+    /// building per-executor `HashMap<String, NetId>` port tables.
+    port_syms: Arc<[Symbol]>,
+    /// Net slot bound to each entry of `port_syms` (same order).
+    port_nets: Arc<[u32]>,
 }
 
 impl Symbols {
@@ -211,6 +217,14 @@ impl Symbols {
             group_node.push(node);
         }
 
+        // Boundary ports, sorted by name once at build time so every
+        // later lookup is an allocation-free binary search against the
+        // shared table.
+        let mut port_order: Vec<usize> = (0..module.ports.len()).collect();
+        port_order.sort_by(|&a, &b| module.ports[a].name.cmp(&module.ports[b].name));
+        let port_syms: Vec<Symbol> = port_order.iter().map(|&i| b.intern(&module.ports[i].name)).collect();
+        let port_nets: Vec<u32> = port_order.iter().map(|&i| module.ports[i].net.index() as u32).collect();
+
         Symbols {
             interner: Arc::new(b.freeze()),
             net_syms: net_syms.into(),
@@ -221,6 +235,8 @@ impl Symbols {
             group_node: group_node.into(),
             node_syms: node_syms.into(),
             node_parent: node_parent.into(),
+            port_syms: port_syms.into(),
+            port_nets: port_nets.into(),
         }
     }
 
@@ -321,6 +337,19 @@ impl Symbols {
         (p != NO_PARENT).then_some(p)
     }
 
+    /// Number of boundary ports.
+    pub fn port_count(&self) -> usize {
+        self.port_syms.len()
+    }
+
+    /// Net slot bound to the boundary port `name`, by binary search
+    /// over the shared sorted port table — no per-caller name map, no
+    /// allocation. This is the lookup the simulation backends'
+    /// `net_of` helpers ride.
+    pub fn port_net(&self, name: &str) -> Option<u32> {
+        self.port_syms.binary_search_by(|&s| self.resolve(s).cmp(name)).ok().map(|i| self.port_nets[i])
+    }
+
     /// Retained heap bytes of the symbol tables *plus* the shared
     /// interner (counted once — every artifact holding this `Symbols`
     /// shares the same allocations).
@@ -334,6 +363,8 @@ impl Symbols {
             + self.group_node.len() * std::mem::size_of::<u32>()
             + self.node_syms.len() * sym
             + self.node_parent.len() * std::mem::size_of::<u32>()
+            + self.port_syms.len() * sym
+            + self.port_nets.len() * std::mem::size_of::<u32>()
             + self.interner.heap_bytes()
     }
 }
@@ -422,6 +453,24 @@ mod tests {
         assert_eq!(syms.resolve(syms.group_head_sym(g_bank.0)), "regs");
         assert_eq!(syms.resolve(syms.group_head_sym(g_word.0)), "mem");
         assert_eq!(syms.resolve(syms.group_head_sym(0)), "top");
+    }
+
+    #[test]
+    fn port_lookup_matches_module_ports() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("m", &lib);
+        let xs = b.input_bus("x", 4);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output_bus("z", &xs);
+        b.output("y", y);
+        let m = b.finish();
+        let syms = Symbols::from_module(&m);
+        assert_eq!(syms.port_count(), m.ports.len());
+        for p in &m.ports {
+            assert_eq!(syms.port_net(&p.name), Some(p.net.index() as u32), "port `{}`", p.name);
+        }
+        assert_eq!(syms.port_net("nonexistent"), None);
     }
 
     #[test]

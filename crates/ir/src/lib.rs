@@ -51,4 +51,4 @@ pub mod runner;
 
 pub use intern::{Interner, InternerBuilder, Symbol, Symbols};
 pub use lowering::Lowering;
-pub use runner::{default_threads, parallel_map};
+pub use runner::{default_threads, parallel_map, parallel_map_threads};

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
 use syndcim_pdk::CellLibrary;
+use syndcim_telemetry as telemetry;
 
 use crate::intern::Symbols;
 
@@ -55,10 +56,21 @@ impl Lowering {
     /// Returns an error if a net has multiple drivers or the
     /// combinational part of the design is cyclic.
     pub fn new(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
+        telemetry::span!("lowering");
+        telemetry::counter("ir.lowerings").incr();
         BUILDS.fetch_add(1, Ordering::Relaxed);
-        let conn = Connectivity::build(module)?;
-        let order = levelize(module, lib, &conn)?;
-        let symbols = Symbols::from_module(module);
+        let conn = {
+            telemetry::span!("lowering.connectivity");
+            Connectivity::build(module)?
+        };
+        let order = {
+            telemetry::span!("lowering.levelize");
+            levelize(module, lib, &conn)?
+        };
+        let symbols = {
+            telemetry::span!("lowering.intern");
+            Symbols::from_module(module)
+        };
         Ok(Lowering { conn, order, net_count: module.net_count(), symbols, validated: false })
     }
 
@@ -72,7 +84,10 @@ impl Lowering {
     /// plus [`NetlistError::FloatingNet`] for read-but-undriven nets.
     pub fn validated(module: &Module, lib: &CellLibrary) -> Result<Self, NetlistError> {
         let mut low = Self::new(module, lib)?;
-        validate(module, &low.conn)?;
+        {
+            telemetry::span!("lowering.validate");
+            validate(module, &low.conn)?;
+        }
         low.validated = true;
         Ok(low)
     }

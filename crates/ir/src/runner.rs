@@ -11,6 +11,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use syndcim_telemetry as telemetry;
+
 /// Number of worker threads to use for `jobs` parallel jobs.
 pub fn default_threads(jobs: usize) -> usize {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -31,24 +33,45 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let threads = default_threads(jobs.len());
+    parallel_map_threads(jobs, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count (≤ 1 runs
+/// inline on the calling thread). Telemetry spans opened inside `f`
+/// nest under the *caller's* current span regardless of `threads`:
+/// each worker adopts the caller's span before running jobs, and the
+/// collector merges same-named spans, so the aggregated span tree and
+/// counters are identical for any thread count — pinned by
+/// `tests/telemetry.rs`.
+pub fn parallel_map_threads<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     if threads <= 1 {
         return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
     }
 
+    let parent = telemetry::current_span();
     let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            scope.spawn(|| {
+                let _adopt = telemetry::adopt(parent);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let job =
+                        slots[i].lock().expect("job mutex poisoned").take().expect("each job claimed once");
+                    let r = f(i, job);
+                    *results[i].lock().expect("result mutex poisoned") = Some(r);
                 }
-                let job = slots[i].lock().expect("job mutex poisoned").take().expect("each job claimed once");
-                let r = f(i, job);
-                *results[i].lock().expect("result mutex poisoned") = Some(r);
             });
         }
     });

@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use syndcim_ir::{Symbol, Symbols};
 use syndcim_pdk::{OperatingPoint, Process};
+use syndcim_telemetry as telemetry;
 
 use crate::analyzer::{PowerAnalyzer, PowerReport};
 
@@ -119,6 +120,7 @@ impl<'a> PowerAnalyzer<'a> {
     /// single linear pass over the instances; every subsequent report
     /// saves the module walk and the per-instance group-string churn.
     pub fn compile(&self) -> CompiledPower {
+        telemetry::span!("power.compile");
         let module = self.module;
         let syms = self.symbols.clone();
         let mut out_slot = Vec::new();
@@ -157,7 +159,7 @@ impl<'a> PowerAnalyzer<'a> {
             module.instances.iter().filter_map(|i| self.lib.cell(i.cell).seq).map(|s| s.clk_energy_fj).sum();
         let leakage_total_nw: f64 = module.instances.iter().map(|i| self.lib.cell(i.cell).leakage_nw).sum();
 
-        CompiledPower {
+        let cp = CompiledPower {
             process: self.lib.process().clone(),
             net_count: module.net_count(),
             out_slot,
@@ -173,7 +175,9 @@ impl<'a> PowerAnalyzer<'a> {
             leakage_total_nw,
             glitch_factor: self.glitch_factor,
             clock_tree_overhead: self.clock_tree_overhead,
-        }
+        };
+        telemetry::gauge("power.retained_bytes").set(cp.retained_bytes() as u64);
+        cp
     }
 }
 
@@ -198,6 +202,21 @@ impl CompiledPower {
     /// (shared with the lowering this program was compiled from).
     pub fn symbols(&self) -> &Symbols {
         &self.syms
+    }
+
+    /// Retained heap bytes of the compiled power program: the
+    /// struct-of-arrays capacitance/energy/group columns plus its share
+    /// of the interned name tables (`Arc`-shared with the lowering).
+    /// Reported as the `power.retained_bytes` telemetry gauge at
+    /// compile time.
+    pub fn retained_bytes(&self) -> usize {
+        let u32s =
+            self.out_slot.len() + self.inst_out_start.len() + self.inst_group.len() + self.in_port_slot.len();
+        let f64s = self.out_cap_ff.len() + self.out_internal_fj.len() + self.in_port_load_ff.len();
+        u32s * std::mem::size_of::<u32>()
+            + f64s * std::mem::size_of::<f64>()
+            + self.group_head_syms.len() * std::mem::size_of::<Symbol>()
+            + self.syms.heap_bytes()
     }
 
     /// Power from measured per-net toggle counts over `cycles` cycles
@@ -230,11 +249,22 @@ impl CompiledPower {
     ) -> Vec<PowerReport> {
         assert!(cycles > 0, "need at least one simulated cycle");
         assert!(toggles.len() >= self.net_count, "toggle table too short");
+        telemetry::span!("power.report_many");
+        telemetry::counter("power.report_batches").incr();
+        telemetry::counter("power.report_points").add(points.len() as u64);
+        let start = telemetry::enabled().then(std::time::Instant::now);
         let out_rate: Vec<f64> =
             self.out_slot.iter().map(|&s| toggles[s as usize] as f64 / cycles as f64).collect();
         let port_rate: Vec<f64> =
             self.in_port_slot.iter().map(|&s| toggles[s as usize] as f64 / cycles as f64).collect();
-        points.iter().map(|&(freq_mhz, op)| self.pass(&out_rate, Some(&port_rate), freq_mhz, op)).collect()
+        let reports: Vec<PowerReport> = points
+            .iter()
+            .map(|&(freq_mhz, op)| self.pass(&out_rate, Some(&port_rate), freq_mhz, op))
+            .collect();
+        if let Some(t) = start {
+            telemetry::histogram("power.report_batch_ns").record(t.elapsed());
+        }
+        reports
     }
 
     /// Power assuming every non-constant net toggles `alpha` times per

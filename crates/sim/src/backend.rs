@@ -237,6 +237,10 @@ impl SimBackend for crate::Simulator<'_> {
         crate::Simulator::module(self)
     }
 
+    fn net_of(&self, port: &str) -> NetId {
+        self.port_net(port).unwrap_or_else(|| panic!("no port named `{port}`"))
+    }
+
     fn poke_word(&mut self, net: NetId, word: u64) {
         self.poke(net, word & 1 == 1);
     }

@@ -9,9 +9,34 @@
 
 use std::collections::HashMap;
 
-use syndcim_ir::Lowering;
+use syndcim_ir::{Lowering, Symbols};
 use syndcim_netlist::{levelize, validate, Connectivity, InstId, Module, NetId, NetlistError};
 use syndcim_pdk::{CellLibrary, SeqUpdate};
+use syndcim_telemetry as telemetry;
+
+/// Port-name → net resolution strategy.
+///
+/// Simulators built from a shared [`Lowering`] resolve ports through
+/// the lowering's interned [`Symbols`] table — an `Arc` handle, so the
+/// constructor allocates **no** per-simulator name map. Only the
+/// standalone [`Simulator::new`] path (no lowering available) still
+/// builds an owned `HashMap`; each such build bumps the
+/// `sim.port_table_allocs` telemetry counter, which the telemetry
+/// tests use to prove the shared paths stopped allocating.
+#[derive(Debug)]
+enum PortLookup {
+    Shared(Symbols),
+    Owned(HashMap<String, NetId>),
+}
+
+impl PortLookup {
+    fn net(&self, port: &str) -> Option<NetId> {
+        match self {
+            PortLookup::Shared(syms) => syms.port_net(port).map(NetId),
+            PortLookup::Owned(map) => map.get(port).copied(),
+        }
+    }
+}
 
 /// Cycle-accurate simulator bound to one module.
 #[derive(Debug)]
@@ -27,7 +52,7 @@ pub struct Simulator<'a> {
     toggles: Vec<u64>,
     /// Completed clock cycles since the last reset.
     cycles: u64,
-    port_by_name: HashMap<String, NetId>,
+    ports: PortLookup,
     seq_insts: Vec<InstId>,
 }
 
@@ -42,7 +67,9 @@ impl<'a> Simulator<'a> {
         let conn = Connectivity::build(module)?;
         validate(module, &conn)?;
         let order = levelize(module, lib, &conn)?;
-        Ok(Self::build(module, lib, order))
+        telemetry::counter("sim.port_table_allocs").incr();
+        let ports = PortLookup::Owned(module.ports.iter().map(|p| (p.name.clone(), p.net)).collect());
+        Ok(Self::build(module, lib, order, ports))
     }
 
     /// Build a simulator over an already-performed
@@ -68,11 +95,14 @@ impl<'a> Simulator<'a> {
         if !low.is_validated() {
             validate(module, low.connectivity())?;
         }
-        Ok(Self::build(module, lib, low.order().to_vec()))
+        // Port names resolve through the lowering's shared symbol
+        // table: a few `Arc` bumps, no owned name map per simulator.
+        let ports = PortLookup::Shared(low.symbols().clone());
+        Ok(Self::build(module, lib, low.order().to_vec(), ports))
     }
 
     /// Shared constructor body over a known-good levelized order.
-    fn build(module: &'a Module, lib: &'a CellLibrary, order: Vec<InstId>) -> Self {
+    fn build(module: &'a Module, lib: &'a CellLibrary, order: Vec<InstId>, ports: PortLookup) -> Self {
         let seq_insts = module
             .instances
             .iter()
@@ -80,7 +110,6 @@ impl<'a> Simulator<'a> {
             .filter(|(_, inst)| lib.cell(inst.cell).is_sequential())
             .map(|(i, _)| InstId(i as u32))
             .collect();
-        let port_by_name = module.ports.iter().map(|p| (p.name.clone(), p.net)).collect();
         Simulator {
             module,
             lib,
@@ -89,7 +118,7 @@ impl<'a> Simulator<'a> {
             state: vec![false; module.instance_count()],
             toggles: vec![0; module.net_count()],
             cycles: 0,
-            port_by_name,
+            ports,
             seq_insts,
         }
     }
@@ -99,13 +128,21 @@ impl<'a> Simulator<'a> {
         self.module
     }
 
+    /// Net bound to boundary port `port`, resolved through the
+    /// simulator's port table (the lowering's shared `Symbols` when
+    /// built with [`Simulator::with_lowering`], an owned map
+    /// otherwise).
+    pub fn port_net(&self, port: &str) -> Option<NetId> {
+        self.ports.net(port)
+    }
+
     /// Set an input port by name.
     ///
     /// # Panics
     ///
     /// Panics if no port with that name exists.
     pub fn set(&mut self, port: &str, value: bool) {
-        let net = *self.port_by_name.get(port).unwrap_or_else(|| panic!("no port named `{port}`"));
+        let net = self.ports.net(port).unwrap_or_else(|| panic!("no port named `{port}`"));
         self.poke(net, value);
     }
 
@@ -136,7 +173,8 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if no port with that name exists.
     pub fn get(&self, port: &str) -> bool {
-        self.peek(self.port_by_name[port])
+        let net = self.ports.net(port).unwrap_or_else(|| panic!("no port named `{port}`"));
+        self.peek(net)
     }
 
     /// Read a bit-blasted bus as an unsigned integer.

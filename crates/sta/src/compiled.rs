@@ -22,6 +22,7 @@
 
 use syndcim_ir::{parallel_map, Symbols};
 use syndcim_pdk::{OperatingPoint, Process};
+use syndcim_telemetry as telemetry;
 
 use crate::{PathStep, Sta, TimingReport};
 
@@ -126,6 +127,7 @@ impl<'a> Sta<'a> {
     /// single linear pass over the instances; every subsequent analysis
     /// saves the graph walk.
     pub fn compile(&self) -> CompiledSta {
+        telemetry::span!("sta.compile");
         let module = self.module;
         let process = self.lib.process();
         let n = module.net_count();
@@ -173,7 +175,7 @@ impl<'a> Sta<'a> {
 
         let port_end_slot = module.output_ports().map(|p| self.low.slot(p.net)).collect();
 
-        CompiledSta {
+        let csta = CompiledSta {
             process: process.clone(),
             net_count: n,
             input_slots,
@@ -193,7 +195,10 @@ impl<'a> Sta<'a> {
             // shared, not cloned (ROADMAP: "interned names would shrink
             // the program if macros grow to ~10⁶ nets").
             syms: self.low.symbols().clone(),
-        }
+        };
+        telemetry::counter("sta.arcs_emitted").add(csta.arc_count() as u64);
+        telemetry::gauge("sta.retained_bytes").set(csta.retained_bytes() as u64);
+        csta
     }
 }
 
@@ -224,6 +229,27 @@ impl CompiledSta {
         &self.syms
     }
 
+    /// Retained heap bytes of the compiled timing program: launch,
+    /// arc and endpoint struct-of-arrays columns plus its share of the
+    /// interned name tables (`Arc`-shared with the lowering). Reported
+    /// as the `sta.retained_bytes` telemetry gauge at compile time.
+    pub fn retained_bytes(&self) -> usize {
+        let u32s = self.input_slots.len()
+            + self.launch_slot.len()
+            + self.launch_inst.len()
+            + self.arc_src.len()
+            + self.arc_dst.len()
+            + self.arc_inst.len()
+            + self.port_end_slot.len()
+            + self.seq_end_slot.len();
+        let f64s = self.launch_base_ps.len()
+            + self.launch_wire_ps.len()
+            + self.arc_base_ps.len()
+            + self.arc_wire_ps.len()
+            + self.seq_end_setup_ps.len();
+        u32s * std::mem::size_of::<u32>() + f64s * std::mem::size_of::<f64>() + self.syms.heap_bytes()
+    }
+
     /// Analyze at the nominal operating point against `period_ps`
     /// (mirrors [`Sta::analyze`]).
     pub fn analyze(&self, period_ps: f64) -> TimingReport {
@@ -246,6 +272,8 @@ impl CompiledSta {
     /// [`CompiledSta::analyze_at`] per point, minus the per-point
     /// allocations.
     pub fn analyze_many(&self, points: &[(f64, OperatingPoint)]) -> Vec<TimingReport> {
+        telemetry::span!("sta.analyze_many");
+        telemetry::counter("sta.analyze_points").add(points.len() as u64);
         let mut scratch = Scratch::default();
         points.iter().map(|&(period_ps, op)| self.analyze_into(period_ps, op, &mut scratch)).collect()
     }
@@ -272,11 +300,20 @@ impl CompiledSta {
     /// order-identical to the sequential evaluation (pinned by tests
     /// here and by the shmoo regression suite).
     pub fn fmax_many(&self, ops: &[OperatingPoint]) -> Vec<f64> {
-        if ops.len() >= FMAX_PARALLEL_THRESHOLD {
+        telemetry::span!("sta.fmax_many");
+        telemetry::counter("sta.fmax_batches").incr();
+        telemetry::counter("sta.fmax_points").add(ops.len() as u64);
+        let start = telemetry::enabled().then(std::time::Instant::now);
+        let out = if ops.len() >= FMAX_PARALLEL_THRESHOLD {
             let chunks: Vec<&[OperatingPoint]> = ops.chunks(FMAX_PARALLEL_CHUNK).collect();
-            return parallel_map(chunks, |_, chunk| self.fmax_serial(chunk)).into_iter().flatten().collect();
+            parallel_map(chunks, |_, chunk| self.fmax_serial(chunk)).into_iter().flatten().collect()
+        } else {
+            self.fmax_serial(ops)
+        };
+        if let Some(t) = start {
+            telemetry::histogram("sta.fmax_batch_ns").record(t.elapsed());
         }
-        self.fmax_serial(ops)
+        out
     }
 
     /// Sequential `f_max` batch sharing one arrival buffer.

@@ -5,16 +5,30 @@
 //! macro grows. The matching regression gate is
 //! `cargo bench -p syndcim-bench --bench lowering`.
 //!
+//! Phase timing comes from `syndcim-telemetry` spans instead of
+//! hand-rolled `Instant` prints: the example forces collection on
+//! (unless `SYNDCIM_TRACE` already chose a mode) and emits the flow
+//! report at the end —
+//!
+//! * `SYNDCIM_TRACE=summary` (or unset): human-readable span tree +
+//!   counters on stdout;
+//! * `SYNDCIM_TRACE=json`: deterministic-schema JSON written to
+//!   `FlowReport.json` (override with `SYNDCIM_FLOW_REPORT`), the
+//!   artifact CI uploads.
+//!
 //! Run with `cargo run --release --example scale_tier`.
-
-use std::time::Instant;
 
 use syndcim_core::{assemble, CompiledMacro, DesignChoice, MacroSpec};
 use syndcim_ir::Lowering;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_sta::WireLoads;
+use syndcim_telemetry as telemetry;
 
 fn main() {
+    if telemetry::mode() == telemetry::Mode::Off {
+        telemetry::set_mode(telemetry::Mode::Summary);
+    }
+
     let lib = CellLibrary::syn40();
     let spec = MacroSpec {
         h: 256,
@@ -28,37 +42,51 @@ fn main() {
         ppa: Default::default(),
     };
 
-    let t = Instant::now();
-    let mac = assemble(&lib, &spec, &DesignChoice::default());
-    let m = &mac.module;
-    println!(
-        "assemble 256x256 (MCR 2): {:>8.1?}  — {} nets, {} instances, {} groups",
-        t.elapsed(),
-        m.net_count(),
-        m.instance_count(),
-        m.groups.len()
-    );
+    let (cm, fmax) = {
+        telemetry::span!("scale_tier");
 
-    let t = Instant::now();
-    let low = Lowering::validated(m, &lib).expect("generated macros are well-formed");
-    println!(
-        "lowering (conn + levelize + intern): {:>8.1?}  — interned name layer {:.1} MiB",
-        t.elapsed(),
-        low.symbols().heap_bytes() as f64 / (1 << 20) as f64
-    );
+        let mac = {
+            telemetry::span!("scale_tier.assemble");
+            assemble(&lib, &spec, &DesignChoice::default())
+        };
+        let m = &mac.module;
+        println!(
+            "assembled 256x256 (MCR 2): {} nets, {} instances, {} groups",
+            m.net_count(),
+            m.instance_count(),
+            m.groups.len()
+        );
 
-    let t = Instant::now();
-    let cm =
-        CompiledMacro::compile(m, &lib, &WireLoads::zero(m.net_count())).expect("generated macros compile");
-    println!(
-        "compiled trinity (sim + STA + power):{:>8.1?}  — {} micro-ops, {} timing arcs, {} path nodes",
-        t.elapsed(),
-        cm.program.op_count(),
-        cm.sta.arc_count(),
-        cm.power.path_count()
-    );
+        // Standalone lowering first (its `lowering.*` child spans show
+        // the conn/levelize/intern split), then the full bundle.
+        let low = Lowering::validated(m, &lib).expect("generated macros are well-formed");
+        println!("interned name layer: {:.1} MiB", low.symbols().heap_bytes() as f64 / (1 << 20) as f64);
 
-    let t = Instant::now();
-    let fmax = cm.sta.fmax_mhz(OperatingPoint::at_voltage(0.9));
-    println!("one STA pass over 4×10⁵ nets:        {:>8.1?}  — fmax {:.0} MHz @ 0.9 V", t.elapsed(), fmax);
+        let cm = CompiledMacro::compile(m, &lib, &WireLoads::zero(m.net_count()))
+            .expect("generated macros compile");
+        println!(
+            "compiled trinity: {} micro-ops, {} timing arcs, {} path nodes",
+            cm.program.op_count(),
+            cm.sta.arc_count(),
+            cm.power.path_count()
+        );
+
+        let fmax = {
+            telemetry::span!("scale_tier.sta_query");
+            cm.sta.fmax_mhz(OperatingPoint::at_voltage(0.9))
+        };
+        println!("one STA pass over 4x10^5 nets: fmax {fmax:.0} MHz @ 0.9 V");
+        (cm, fmax)
+    };
+    assert!(fmax > 0.0 && cm.program.net_count() > 100_000);
+
+    let report = telemetry::snapshot();
+    match telemetry::mode() {
+        telemetry::Mode::Json => {
+            let path = std::env::var("SYNDCIM_FLOW_REPORT").unwrap_or_else(|_| "FlowReport.json".to_string());
+            std::fs::write(&path, report.to_json()).expect("write flow report");
+            println!("wrote {path}");
+        }
+        _ => println!("\n{}", report.render()),
+    }
 }
