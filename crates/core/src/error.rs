@@ -1,14 +1,27 @@
 //! Unified error type for the compiler flow.
+//!
+//! [`FlowError`] is the typed error every public `implement` / `eval` /
+//! `shmoo` entry point returns: spec, netlist and layout failures from
+//! the implementation flow, golden-model mismatches from evaluation,
+//! and — since the fault-injection subsystem landed — malformed fault
+//! plans, out-of-range lanes, unsupported precisions and dimension
+//! mismatches that previously panicked mid-measurement. [`CoreError`]
+//! remains as an alias so existing call sites keep compiling unchanged.
 
 use std::fmt;
 
 use crate::spec::SpecError;
+use syndcim_engine::EngineError;
 use syndcim_layout::LayoutError;
 use syndcim_netlist::NetlistError;
 
+/// Backwards-compatible name for [`FlowError`] (the original seed
+/// error type grew into the flow-wide one).
+pub type CoreError = FlowError;
+
 /// Any error the compiler flow can raise.
 #[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
+pub enum FlowError {
     /// Specification validation failed.
     Spec(SpecError),
     /// The generated netlist is malformed (internal error).
@@ -26,48 +39,103 @@ pub enum CoreError {
         /// Golden-model value.
         want: i64,
     },
+    /// The batch engine rejected a fault plan or lane request
+    /// (out-of-range net/lane, contradictory stuck-ats, lane-set
+    /// misuse).
+    Engine(EngineError),
+    /// A measurement asked for a precision the macro does not support.
+    Precision {
+        /// Requested activation/weight precision in bits.
+        pa: u32,
+        /// Largest precision the macro was built for.
+        max: u32,
+    },
+    /// A measurement input had the wrong shape.
+    Dimension {
+        /// What was mis-shaped (e.g. `"weight vectors"`).
+        what: &'static str,
+        /// Length found.
+        got: usize,
+        /// Length required.
+        want: usize,
+    },
+    /// A lane-parallel measurement asked for more concurrent patterns
+    /// or samples than the engine carries (or zero).
+    PatternCount {
+        /// Requested pattern/sample count.
+        patterns: usize,
+        /// Engine lane capacity.
+        max: usize,
+    },
+    /// An FP measurement was requested on a macro built without an FP
+    /// alignment unit.
+    MissingFpUnit,
+    /// A sweep axis (voltages, frequencies, samples) was empty.
+    EmptyAxis {
+        /// Which axis was empty.
+        axis: &'static str,
+    },
 }
 
-impl fmt::Display for CoreError {
+impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::Spec(e) => write!(f, "invalid specification: {e}"),
-            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
-            CoreError::Layout(e) => write!(f, "layout error: {e}"),
-            CoreError::NoFeasibleDesign => write!(f, "no design in the search space meets the constraints"),
-            CoreError::FunctionalMismatch { channel, got, want } => {
+            FlowError::Spec(e) => write!(f, "invalid specification: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Layout(e) => write!(f, "layout error: {e}"),
+            FlowError::NoFeasibleDesign => write!(f, "no design in the search space meets the constraints"),
+            FlowError::FunctionalMismatch { channel, got, want } => {
                 write!(f, "macro output mismatch on channel {channel}: got {got}, expected {want}")
             }
+            FlowError::Engine(e) => write!(f, "engine rejected the request: {e}"),
+            FlowError::Precision { pa, max } => {
+                write!(f, "unsupported precision INT{pa} (macro supports up to {max} bits, powers of two)")
+            }
+            FlowError::Dimension { what, got, want } => {
+                write!(f, "dimension mismatch: {what} has length {got}, expected {want}")
+            }
+            FlowError::PatternCount { patterns, max } => {
+                write!(f, "pattern count {patterns} outside 1..={max}")
+            }
+            FlowError::MissingFpUnit => write!(f, "macro has no FP alignment unit"),
+            FlowError::EmptyAxis { axis } => write!(f, "sweep axis `{axis}` is empty"),
         }
     }
 }
 
-impl std::error::Error for CoreError {
+impl std::error::Error for FlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CoreError::Spec(e) => Some(e),
-            CoreError::Netlist(e) => Some(e),
-            CoreError::Layout(e) => Some(e),
-            CoreError::NoFeasibleDesign | CoreError::FunctionalMismatch { .. } => None,
+            FlowError::Spec(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Layout(e) => Some(e),
+            FlowError::Engine(e) => Some(e),
+            _ => None,
         }
     }
 }
 
-impl From<SpecError> for CoreError {
+impl From<SpecError> for FlowError {
     fn from(e: SpecError) -> Self {
-        CoreError::Spec(e)
+        FlowError::Spec(e)
     }
 }
 
-impl From<NetlistError> for CoreError {
+impl From<NetlistError> for FlowError {
     fn from(e: NetlistError) -> Self {
-        CoreError::Netlist(e)
+        FlowError::Netlist(e)
     }
 }
 
-impl From<LayoutError> for CoreError {
+impl From<LayoutError> for FlowError {
     fn from(e: LayoutError) -> Self {
-        CoreError::Layout(e)
+        FlowError::Layout(e)
+    }
+}
+
+impl From<EngineError> for FlowError {
+    fn from(e: EngineError) -> Self {
+        FlowError::Engine(e)
     }
 }
 
@@ -81,5 +149,19 @@ mod tests {
         assert!(e.to_string().contains("invalid specification"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(CoreError::NoFeasibleDesign.to_string().contains("no design"));
+    }
+
+    #[test]
+    fn robustness_variants_render() {
+        let e: FlowError = EngineError::LaneOutOfRange { lane: 9, lanes: 4 }.into();
+        assert!(e.to_string().contains("lane 9"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(FlowError::Precision { pa: 16, max: 8 }.to_string().contains("INT16"));
+        assert!(FlowError::PatternCount { patterns: 0, max: 256 }.to_string().contains("0"));
+        assert!(FlowError::MissingFpUnit.to_string().contains("FP"));
+        assert!(FlowError::EmptyAxis { axis: "voltages" }.to_string().contains("voltages"));
+        assert!(FlowError::Dimension { what: "weight vectors", got: 3, want: 2 }
+            .to_string()
+            .contains("weight vectors"));
     }
 }

@@ -145,12 +145,8 @@ impl Activity {
 /// # Errors
 ///
 /// Returns [`CoreError::FunctionalMismatch`] if any output disagrees
-/// with the golden model.
-///
-/// # Panics
-///
-/// Panics on dimension mismatches (wrong vector lengths, `pa` larger
-/// than the macro supports).
+/// with the golden model, [`CoreError::Precision`] for an unsupported
+/// `pa`, and [`CoreError::Dimension`] for mis-shaped vectors.
 pub fn measure_int(
     im: &ImplementedMacro,
     lib: &CellLibrary,
@@ -180,13 +176,6 @@ pub fn measure_int_with(
     f_mhz: f64,
     backend: EvalBackend,
 ) -> Result<MacMeasurement, CoreError> {
-    let mac = &im.mac;
-    assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
-    let channels = mac.w / pa as usize;
-    assert_eq!(weights.len(), channels, "need one weight vector per channel");
-    assert!(weights.iter().all(|w| w.len() == mac.h));
-    assert!(passes.iter().all(|a| a.len() == mac.h));
-
     let activity = int_activity(im, lib, pa, passes, weights, backend)?;
     let measurement = finish_measurement(im, lib, &activity, pa, pa, op, f_mhz, backend);
     Ok(MacMeasurement { checked_outputs: activity.checked, ..measurement })
@@ -197,10 +186,13 @@ pub fn measure_int_with(
 /// carried since `implement` (compiled from the shared lowering) — no
 /// per-call netlist walk.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on dimension mismatches (wrong vector lengths, `pa` larger
-/// than the macro supports) — the same contract as [`measure_int`].
+/// [`CoreError::Precision`] for an unsupported `pa`,
+/// [`CoreError::Dimension`] for mis-shaped vectors,
+/// [`CoreError::FunctionalMismatch`] for golden-model disagreement —
+/// the same contract as [`measure_int`] (the seed flow panicked on the
+/// first two).
 pub(crate) fn int_activity(
     im: &ImplementedMacro,
     lib: &CellLibrary,
@@ -210,10 +202,19 @@ pub(crate) fn int_activity(
     backend: EvalBackend,
 ) -> Result<Activity, CoreError> {
     let mac = &im.mac;
-    assert!(pa.is_power_of_two() && pa <= mac.w_bits, "unsupported precision INT{pa}");
-    assert_eq!(weights.len(), mac.w / pa as usize, "need one weight vector per channel");
-    assert!(weights.iter().all(|w| w.len() == mac.h), "weight vectors must have H entries");
-    assert!(passes.iter().all(|a| a.len() == mac.h), "activation vectors must have H entries");
+    if !pa.is_power_of_two() || pa > mac.w_bits {
+        return Err(CoreError::Precision { pa, max: mac.w_bits });
+    }
+    let channels = mac.w / pa as usize;
+    if weights.len() != channels {
+        return Err(CoreError::Dimension { what: "weight vectors", got: weights.len(), want: channels });
+    }
+    if let Some(w) = weights.iter().find(|w| w.len() != mac.h) {
+        return Err(CoreError::Dimension { what: "weight vector entries", got: w.len(), want: mac.h });
+    }
+    if let Some(a) = passes.iter().find(|a| a.len() != mac.h) {
+        return Err(CoreError::Dimension { what: "activation vector entries", got: a.len(), want: mac.h });
+    }
     let golden =
         |lane_acts: &Vec<i64>, ch: usize| DcimChannelTrace::run(lane_acts, &weights[ch], pa, pa).output;
     match backend {
@@ -277,11 +278,9 @@ fn merge_activities(
 /// # Errors
 ///
 /// Returns [`CoreError::FunctionalMismatch`] if the hardware disagrees
-/// with [`syndcim_sim::golden::fp_dot`] semantics.
-///
-/// # Panics
-///
-/// Panics if the macro was built without an FP precision.
+/// with [`syndcim_sim::golden::fp_dot`] semantics,
+/// [`CoreError::MissingFpUnit`] if the macro was built without an FP
+/// precision, and [`CoreError::Dimension`] for mis-shaped vectors.
 pub fn measure_fp(
     im: &ImplementedMacro,
     lib: &CellLibrary,
@@ -298,11 +297,9 @@ pub fn measure_fp(
 /// # Errors
 ///
 /// Returns [`CoreError::FunctionalMismatch`] if the hardware disagrees
-/// with the golden model.
-///
-/// # Panics
-///
-/// Panics if the macro was built without an FP precision.
+/// with the golden model, [`CoreError::MissingFpUnit`] if the macro was
+/// built without an FP precision, and [`CoreError::Dimension`] for
+/// mis-shaped vectors.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_fp_with(
     im: &ImplementedMacro,
@@ -314,11 +311,21 @@ pub fn measure_fp_with(
     backend: EvalBackend,
 ) -> Result<MacMeasurement, CoreError> {
     let mac = &im.mac;
-    let fmt = mac.fp.expect("macro has no FP alignment unit");
+    let Some(fmt) = mac.fp else {
+        return Err(CoreError::MissingFpUnit);
+    };
     let pa = fmt.aligned_bits();
     let pw = pa.next_power_of_two().max(2);
     let channels = mac.w / pw as usize;
-    assert_eq!(weights.len(), channels);
+    if weights.len() != channels {
+        return Err(CoreError::Dimension { what: "FP weight vectors", got: weights.len(), want: channels });
+    }
+    if let Some(w) = weights.iter().find(|w| w.len() != mac.h) {
+        return Err(CoreError::Dimension { what: "FP weight vector entries", got: w.len(), want: mac.h });
+    }
+    if let Some(a) = passes.iter().find(|a| a.len() != mac.h) {
+        return Err(CoreError::Dimension { what: "FP activation vector entries", got: a.len(), want: mac.h });
+    }
 
     // Pre-align weights per channel (offline, like the paper's flow).
     let aligned_w: Vec<Vec<i64>> = weights.iter().map(|wv| fp_align(wv, fmt).0).collect();
@@ -461,11 +468,9 @@ pub fn measure_weight_update_with(
 /// # Errors
 ///
 /// Returns [`CoreError::FunctionalMismatch`] if any bitcell fails to
-/// capture its written value in any pattern.
-///
-/// # Panics
-///
-/// Panics if `patterns` is zero or exceeds the engine's lane capacity.
+/// capture its written value in any pattern, and
+/// [`CoreError::PatternCount`] if `patterns` is zero or exceeds the
+/// engine's lane capacity (the seed flow panicked here).
 pub fn measure_weight_update_patterns(
     im: &ImplementedMacro,
     lib: &CellLibrary,
@@ -475,7 +480,9 @@ pub fn measure_weight_update_patterns(
     patterns: usize,
     backend: EvalBackend,
 ) -> Result<WeightUpdateMeasurement, CoreError> {
-    assert!((1..=MAX_LANES).contains(&patterns), "pattern count {patterns} outside 1..={MAX_LANES}");
+    if !(1..=MAX_LANES).contains(&patterns) {
+        return Err(CoreError::PatternCount { patterns, max: MAX_LANES });
+    }
     let mac = &im.mac;
     let per_pattern: Vec<Activity> = match backend {
         EvalBackend::Interpreter => {
@@ -528,7 +535,7 @@ pub fn measure_weight_update_patterns(
 /// Derive the xorshift stream of one write pattern. Pattern 0 keeps the
 /// seed's original `seed | 1` stream so single-pattern measurements
 /// reproduce historical numbers.
-fn pattern_seed(seed: u64, pattern: u64) -> u64 {
+pub(crate) fn pattern_seed(seed: u64, pattern: u64) -> u64 {
     seed.wrapping_add(pattern.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -634,12 +641,16 @@ fn run_weight_update_lanes(
     }
     let cycles = sim.lane_cycles() / patterns as u64;
     Ok((0..patterns)
-        .map(|l| Activity { toggles: sim.lane_toggle_table(l), lane_cycles: cycles, checked: 0 })
+        .map(|l| {
+            let toggles =
+                sim.lane_toggle_table(l).expect("per-lane toggles were enabled before driving stimulus");
+            Activity { toggles, lane_cycles: cycles, checked: 0 }
+        })
         .collect())
 }
 
 /// Tiny xorshift bit source (keeps `rand` out of the library API).
-mod rand_like {
+pub(crate) mod rand_like {
     pub fn next_bit(state: &mut u64) -> bool {
         *state ^= *state << 13;
         *state ^= *state >> 7;
@@ -680,7 +691,7 @@ fn preload_weights<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32, weig
     }
 }
 
-fn configure_precision<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32) {
+pub(crate) fn configure_precision<B: SimBackend + ?Sized>(sim: &mut B, mac: &MacroNetlist, pw: u32) {
     let level = pw.trailing_zeros() as usize;
     for k in 0..=(mac.w_bits.trailing_zeros() as usize) {
         sim.set_all(&format!("prec[{k}]"), k == level);
@@ -692,7 +703,7 @@ fn configure_precision<B: SimBackend>(sim: &mut B, mac: &MacroNetlist, pw: u32) 
     sim.set_all("wr_en", false);
 }
 
-fn quiesce<B: SimBackend>(sim: &mut B, mac: &MacroNetlist) {
+pub(crate) fn quiesce<B: SimBackend + ?Sized>(sim: &mut B, mac: &MacroNetlist) {
     for r in 0..mac.h {
         sim.set_all(&format!("act[{r}]"), false);
     }

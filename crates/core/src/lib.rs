@@ -42,6 +42,7 @@ pub mod compiled;
 pub mod design;
 pub mod error;
 pub mod eval;
+pub mod faults;
 pub mod flow;
 pub mod pareto;
 pub mod published;
@@ -53,14 +54,23 @@ pub use assemble::{assemble, MacroNetlist};
 pub use baseline::BaselineKind;
 pub use compiled::CompiledMacro;
 pub use design::{DesignChoice, DesignPoint, PpaEstimate};
-pub use error::CoreError;
+pub use error::{CoreError, FlowError};
 pub use eval::{
     measure_fp, measure_fp_with, measure_int, measure_int_with, measure_weight_update,
     measure_weight_update_patterns, measure_weight_update_with, EvalBackend, MacMeasurement,
     WeightUpdateMeasurement, DEFAULT_WU_PATTERNS,
 };
+pub use faults::{measure_weight_update_coverage, port_net, FaultCoverageReport};
 pub use flow::{implement, implement_with, FlowReport, ImplementedMacro, PowerBackend, StaBackend};
 pub use pareto::pareto_frontier;
 pub use search::{search, SearchResult};
-pub use shmoo::{shmoo, shmoo_with, shmoo_with_power, shmoo_with_power_on, PowerShmoo, Shmoo};
+pub use shmoo::{
+    shmoo, shmoo_with, shmoo_with_power, shmoo_with_power_on, shmoo_yield, PowerShmoo, Shmoo, YieldReport,
+    YieldShmoo,
+};
 pub use spec::{MacroSpec, PpaWeights, SpecError};
+
+// Fault-plan and variation building blocks, re-exported so campaign
+// and yield code needs only `syndcim_core`.
+pub use syndcim_engine::{EngineError, Fault, FaultKind, FaultPlan};
+pub use syndcim_sta::VariationModel;

@@ -218,11 +218,15 @@ fn search_site(
 
         // --- weight-update constraint -------------------------
         if stages.write_ps * scale > wu_period {
+            // Write path can't keep up even after every timing move:
+            // the sibling counter records *why* the rung was pruned.
+            telemetry::counter("search.pruned_wu_timing").incr();
             rejected += 1;
             continue;
         }
 
         if stages.worst_mac_stage() * scale > period {
+            telemetry::counter("search.pruned_mac_timing").incr();
             rejected += 1;
             continue;
         }
@@ -254,6 +258,7 @@ fn search_site(
         feasible.push(point(spec, scl, &choice, &stages));
     }
     if !found_for_site {
+        telemetry::counter("search.pruned_infeasible_site").incr();
         rejected += 1;
     }
 

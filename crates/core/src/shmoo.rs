@@ -6,8 +6,10 @@
 //! limit. This is exactly what a tester shmoo measures, with the
 //! alpha-power-scaled STA standing in for silicon.
 
+use syndcim_engine::EngineSim;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::PowerAnalyzer;
+use syndcim_sta::VariationModel;
 use syndcim_telemetry as telemetry;
 
 use crate::error::CoreError;
@@ -242,6 +244,202 @@ pub fn shmoo_with_power_on(
     Ok(PowerShmoo { shmoo: grid, power_uw })
 }
 
+/// A shmoo grid where every point carries a *pass fraction* — the
+/// share of Monte-Carlo process samples (virtual dies) that meet
+/// timing there — instead of a single pass/fail bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldShmoo {
+    /// Supply axis, volts (ascending).
+    pub voltages: Vec<f64>,
+    /// Frequency axis, MHz (ascending).
+    pub freqs_mhz: Vec<f64>,
+    /// `pass_fraction[vi][fi]` — fraction of sampled dies that run at
+    /// `freqs_mhz[fi]` at `voltages[vi]` (0.0 below the retention
+    /// limit).
+    pub pass_fraction: Vec<Vec<f64>>,
+    /// Monte-Carlo samples behind every fraction.
+    pub samples: usize,
+}
+
+impl YieldShmoo {
+    /// Maximum frequency at a voltage where at least `min_yield` of the
+    /// sampled dies still pass, if any.
+    pub fn fmax_at_yield(&self, vi: usize, min_yield: f64) -> Option<f64> {
+        self.pass_fraction[vi]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &y)| y >= min_yield)
+            .map(|(fi, _)| self.freqs_mhz[fi])
+    }
+
+    /// Render the yield shmoo as banded marks (rows = voltage
+    /// descending): `■` every die passes, `▓` ≥ 75 %, `▒` ≥ 25 %, `░`
+    /// some dies, `·` none.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("  V\\f(MHz) ");
+        for f in &self.freqs_mhz {
+            s.push_str(&format!("{f:>6.0}"));
+        }
+        s.push('\n');
+        for (vi, v) in self.voltages.iter().enumerate().rev() {
+            s.push_str(&format!("  {v:>7.2}V "));
+            for &y in &self.pass_fraction[vi] {
+                let mark = if y >= 1.0 {
+                    '■'
+                } else if y >= 0.75 {
+                    '▓'
+                } else if y >= 0.25 {
+                    '▒'
+                } else if y > 0.0 {
+                    '░'
+                } else {
+                    '·'
+                };
+                s.push_str("     ");
+                s.push(mark);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Variation-aware shmoo: sweep the (V, f) grid over `samples`
+/// Monte-Carlo process samples and report the per-point pass fraction.
+///
+/// One multiplier per sample is drawn from `model` (deterministically,
+/// from `seed`) and every `(voltage, sample)` corner rides a single
+/// [`syndcim_sta::CompiledSta::fmax_many_scaled`] batch — the same
+/// batching [`shmoo`] uses, `samples`× wider. With
+/// [`VariationModel::nominal`] the grid collapses to the binary
+/// [`shmoo`] map (`1.0`/`0.0`), bit-identically — pinned by the yield
+/// regression tests.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyAxis`] for an empty voltage or frequency
+/// axis and [`CoreError::PatternCount`] when `samples` is zero or
+/// exceeds the engine lane capacity (the cap keeps yield grids
+/// commensurate with fault-injection runs, which map samples to lanes).
+pub fn shmoo_yield(
+    im: &ImplementedMacro,
+    voltages: &[f64],
+    freqs_mhz: &[f64],
+    model: VariationModel,
+    samples: usize,
+    seed: u64,
+) -> Result<YieldShmoo, CoreError> {
+    telemetry::span!("shmoo.yield");
+    if voltages.is_empty() {
+        return Err(CoreError::EmptyAxis { axis: "voltages" });
+    }
+    if freqs_mhz.is_empty() {
+        return Err(CoreError::EmptyAxis { axis: "freqs_mhz" });
+    }
+    if !(1..=EngineSim::MAX_LANES).contains(&samples) {
+        return Err(CoreError::PatternCount { patterns: samples, max: EngineSim::MAX_LANES });
+    }
+    telemetry::counter("shmoo.grids").incr();
+    telemetry::counter("shmoo.points").add((voltages.len() * freqs_mhz.len()) as u64);
+    telemetry::counter("shmoo.yield_samples").add(samples as u64);
+
+    // One multiplier per virtual die, shared across the voltage axis
+    // (the same die is measured at every supply, as on a tester).
+    let scales = model.sample(seed, samples);
+    let points: Vec<(OperatingPoint, f64)> = voltages
+        .iter()
+        .filter(|&&v| v >= V_MIN_FUNCTIONAL)
+        .flat_map(|&v| scales.iter().map(move |&s| (OperatingPoint::at_voltage(v), s)))
+        .collect();
+    let fmaxes = im.compiled.sta.fmax_many_scaled(&points);
+    let mut per_voltage = fmaxes.chunks(samples);
+
+    let pass_fraction = voltages
+        .iter()
+        .map(|&v| {
+            if v < V_MIN_FUNCTIONAL {
+                return vec![0.0; freqs_mhz.len()];
+            }
+            let die_fmaxes = per_voltage.next().expect("one fmax chunk per functional voltage");
+            freqs_mhz
+                .iter()
+                .map(|&f| die_fmaxes.iter().filter(|&&fm| f <= fm).count() as f64 / samples as f64)
+                .collect()
+        })
+        .collect();
+    Ok(YieldShmoo { voltages: voltages.to_vec(), freqs_mhz: freqs_mhz.to_vec(), pass_fraction, samples })
+}
+
+/// A [`YieldShmoo`] plus the variation parameters that produced it —
+/// the deterministic, diffable artifact CI uploads next to the
+/// telemetry flow report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// The yield grid.
+    pub shmoo: YieldShmoo,
+    /// Gaussian sigma of the sampled delay multiplier.
+    pub sigma: f64,
+    /// Mean of the sampled delay multiplier.
+    pub mean: f64,
+    /// Monte-Carlo seed.
+    pub seed: u64,
+}
+
+impl YieldReport {
+    /// Run [`shmoo_yield`] and wrap the grid with its provenance.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`shmoo_yield`].
+    pub fn generate(
+        im: &ImplementedMacro,
+        voltages: &[f64],
+        freqs_mhz: &[f64],
+        model: VariationModel,
+        samples: usize,
+        seed: u64,
+    ) -> Result<YieldReport, CoreError> {
+        let shmoo = shmoo_yield(im, voltages, freqs_mhz, model, samples, seed)?;
+        Ok(YieldReport { shmoo, sigma: model.sigma, mean: model.mean, seed })
+    }
+
+    /// Serialize with a deterministic schema (fixed key order, axis
+    /// values and fractions exactly as computed) — same contract as the
+    /// telemetry flow report, so CI can diff two runs byte for byte.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"syndcim-yield-report-v1\"");
+        out.push_str(&format!(",\"sigma\":{},\"mean\":{},\"seed\":{}", self.sigma, self.mean, self.seed));
+        out.push_str(&format!(",\"samples\":{}", self.shmoo.samples));
+        push_json_floats(&mut out, ",\"voltages\":", &self.shmoo.voltages);
+        push_json_floats(&mut out, ",\"freqs_mhz\":", &self.shmoo.freqs_mhz);
+        out.push_str(",\"pass_fraction\":[");
+        for (vi, row) in self.shmoo.pass_fraction.iter().enumerate() {
+            if vi > 0 {
+                out.push(',');
+            }
+            push_json_floats(&mut out, "", row);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append `prefix` then `values` as a JSON array of floats.
+pub(crate) fn push_json_floats(out: &mut String, prefix: &str, values: &[f64]) {
+    out.push_str(prefix);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push(']');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +579,91 @@ mod tests {
         assert!(art.contains("1.20V"));
         assert!(art.contains('■'), "{art}");
         assert!(art.contains('·'), "a 100 GHz point must fail:\n{art}");
+    }
+
+    /// Zero-variation pin: the Monte-Carlo grid with the nominal model
+    /// must collapse to the binary shmoo map exactly — every fraction
+    /// is 1.0 where the plain shmoo passes and 0.0 where it fails.
+    #[test]
+    fn nominal_yield_shmoo_matches_binary_shmoo_exactly() {
+        let (im, lib) = implemented();
+        let vs = [0.5, 0.58, 0.7, 0.9, 1.1];
+        let fs = [100.0, 400.0, 900.0, 1800.0, 3600.0];
+        let binary = shmoo(&im, &lib, &vs, &fs);
+        let y = shmoo_yield(&im, &vs, &fs, VariationModel::nominal(), 16, 7).unwrap();
+        for vi in 0..vs.len() {
+            for fi in 0..fs.len() {
+                let want = if binary.pass[vi][fi] { 1.0 } else { 0.0 };
+                assert_eq!(y.pass_fraction[vi][fi], want, "(v={vi}, f={fi})");
+            }
+        }
+    }
+
+    #[test]
+    fn variation_opens_a_band_and_yield_is_monotone_in_frequency() {
+        let (im, lib) = implemented();
+        let vs = [0.7, 0.9, 1.1];
+        // A dense frequency axis straddling nominal fmax at each V.
+        let fs: Vec<f64> = (1..40).map(|i| i as f64 * 100.0).collect();
+        let y = shmoo_yield(&im, &vs, &fs, VariationModel::gaussian(0.08), 128, 0xD1E).unwrap();
+        let _ = lib;
+        for (vi, row) in y.pass_fraction.iter().enumerate() {
+            // Yield can only drop as frequency rises.
+            for fi in 1..row.len() {
+                assert!(row[fi] <= row[fi - 1], "(v={vi}, f={fi})");
+            }
+            // Process spread opens a partial-yield band somewhere on
+            // the axis (not every point is exactly 0 or 1).
+            assert!(
+                row.iter().any(|&p| p > 0.0 && p < 1.0),
+                "sigma=0.08 must open a partial band at v index {vi}: {row:?}"
+            );
+        }
+        // Deterministic: same seed, same grid.
+        let again = shmoo_yield(&im, &vs, &fs, VariationModel::gaussian(0.08), 128, 0xD1E).unwrap();
+        assert_eq!(y, again);
+    }
+
+    #[test]
+    fn yield_shmoo_rejects_bad_axes_and_sample_counts() {
+        let (im, _lib) = implemented();
+        let m = VariationModel::nominal();
+        assert_eq!(
+            shmoo_yield(&im, &[], &[100.0], m, 8, 0).unwrap_err(),
+            CoreError::EmptyAxis { axis: "voltages" }
+        );
+        assert_eq!(
+            shmoo_yield(&im, &[0.9], &[], m, 8, 0).unwrap_err(),
+            CoreError::EmptyAxis { axis: "freqs_mhz" }
+        );
+        assert!(matches!(
+            shmoo_yield(&im, &[0.9], &[100.0], m, 0, 0).unwrap_err(),
+            CoreError::PatternCount { patterns: 0, .. }
+        ));
+        assert!(matches!(
+            shmoo_yield(&im, &[0.9], &[100.0], m, 100_000, 0).unwrap_err(),
+            CoreError::PatternCount { patterns: 100_000, .. }
+        ));
+    }
+
+    #[test]
+    fn yield_report_renders_bands_and_serializes_deterministically() {
+        let (im, _lib) = implemented();
+        let vs = [0.5, 0.8, 1.0];
+        let fs: Vec<f64> = (1..20).map(|i| i as f64 * 150.0).collect();
+        let r = YieldReport::generate(&im, &vs, &fs, VariationModel::gaussian(0.1), 64, 42).unwrap();
+        let art = r.shmoo.render();
+        assert!(art.contains('■') && art.contains('·'), "{art}");
+        assert!(
+            art.contains('▓') || art.contains('▒') || art.contains('░'),
+            "sigma=0.1 over 64 dies must produce a partial band:\n{art}"
+        );
+        assert!(r.shmoo.fmax_at_yield(1, 0.5).is_some());
+        assert!(r.shmoo.fmax_at_yield(0, 1e-9).is_none(), "below retention nothing yields");
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"syndcim-yield-report-v1\""), "{json}");
+        assert!(json.contains("\"sigma\":0.1") && json.contains("\"seed\":42"), "{json}");
+        let again = YieldReport::generate(&im, &vs, &fs, VariationModel::gaussian(0.1), 64, 42).unwrap();
+        assert_eq!(json, again.to_json(), "byte-identical artifact for identical runs");
     }
 }

@@ -20,8 +20,32 @@ use syndcim_pdk::SeqUpdate;
 use syndcim_sim::SimBackend;
 use syndcim_telemetry as telemetry;
 
+use crate::fault::{EngineError, FaultKind, FaultPlan};
 use crate::program::{Op, Program};
 use crate::word::{LaneWord, W256};
+
+/// Compiled form of an installed [`FaultPlan`]: dense per-net-slot
+/// lane-mask tables consulted by every store in [`BatchExec::write`].
+/// Only allocated when a non-empty plan is installed — the nominal path
+/// carries a single predictable `Option` branch.
+#[derive(Debug)]
+struct FaultState<W> {
+    /// Per-slot AND mask: stuck-at-0 lanes cleared, all others set.
+    and: Vec<W>,
+    /// Per-slot OR mask: stuck-at-1 lanes set.
+    or: Vec<W>,
+    /// Per-slot XOR mask: lanes of transient flips active *this* cycle.
+    xor: Vec<W>,
+    /// Pending transient flips `(cycle, net slot, lane)`, sorted by
+    /// cycle; `next_flip` is the cursor of the first not-yet-activated
+    /// entry.
+    flips: Vec<(u64, u32, u32)>,
+    next_flip: usize,
+    /// Slots whose XOR mask is currently nonzero (this cycle's flips).
+    active_xor: Vec<u32>,
+    /// `step()` calls since the plan was installed.
+    cycle: u64,
+}
 
 /// Word-level batch executor over one compiled program, generic over
 /// the lane word `W`. Use the [`BatchSim`] / [`BatchSim256`] aliases or
@@ -42,6 +66,10 @@ pub struct BatchExec<'a, W: LaneWord> {
     /// by [`BatchExec::enable_lane_toggles`] for measurements that need
     /// per-lane energy attribution (e.g. write-energy variance).
     lane_toggles: Option<Vec<u64>>,
+    /// Compiled fault-injection masks (`None` unless a non-empty
+    /// [`FaultPlan`] is installed — the nominal write path pays one
+    /// predictable branch, nothing else).
+    faults: Option<Box<FaultState<W>>>,
     lanes: usize,
     mask: W,
     lane_cycles: u64,
@@ -84,6 +112,7 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
             next: vec![W::splat(false); prog.commits.len()],
             toggles: vec![0; prog.net_count],
             lane_toggles: None,
+            faults: None,
             lanes,
             mask: W::mask(lanes),
             lane_cycles: 0,
@@ -109,29 +138,30 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
     }
 
     /// Shrink the active lane set (values in deactivated lanes keep
-    /// evaluating but stop contributing toggles). Growing is not
-    /// supported: a deactivated lane's uncounted transitions would
-    /// corrupt the "toggles == sum of L independent runs" invariant if
-    /// it were re-activated — create a new executor instead.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lanes` is zero or larger than the current lane count,
-    /// or if per-lane toggle accounting is enabled (its storage is
-    /// strided by the lane count at enable time, so resizing afterwards
-    /// would corrupt the attribution — create a new executor instead).
-    pub fn set_lanes(&mut self, lanes: usize) {
-        assert!(
-            lanes <= self.lanes,
-            "lane set can only shrink (have {}, asked {lanes}); create a new BatchSim to grow",
-            self.lanes
-        );
-        assert!(
-            self.lane_toggles.is_none(),
-            "cannot resize the lane set once per-lane toggle accounting is enabled"
-        );
+    /// evaluating but stop contributing toggles). Growing is rejected:
+    /// a deactivated lane's uncounted transitions would corrupt the
+    /// "toggles == sum of L independent runs" invariant if it were
+    /// re-activated — create a new executor instead. Also rejected once
+    /// per-lane toggle accounting is enabled (its storage is strided by
+    /// the lane count at enable time, so resizing afterwards would
+    /// corrupt the attribution) and while a fault plan is installed
+    /// (its masks were validated against the lane set).
+    pub fn set_lanes(&mut self, lanes: usize) -> Result<(), EngineError> {
+        if lanes == 0 {
+            return Err(EngineError::ZeroLanes);
+        }
+        if lanes > self.lanes {
+            return Err(EngineError::LaneGrow { have: self.lanes, asked: lanes });
+        }
+        if self.lane_toggles.is_some() {
+            return Err(EngineError::LaneTogglesPinned);
+        }
+        if self.faults.is_some() {
+            return Err(EngineError::FaultPlanPinned);
+        }
         self.lanes = lanes;
         self.mask = W::mask(lanes);
+        Ok(())
     }
 
     /// Start per-lane toggle accounting (in addition to the aggregate
@@ -143,22 +173,24 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
         }
     }
 
-    /// Per-net toggle counts of one lane (indexed by [`NetId::index`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if [`BatchExec::enable_lane_toggles`] was never called or
-    /// `lane` is not an active lane.
-    pub fn lane_toggle_table(&self, lane: usize) -> Vec<u64> {
-        assert!(lane < self.lanes, "lane {lane} out of range (executor has {} lanes)", self.lanes);
-        let lt = self.lane_toggles.as_ref().expect("per-lane toggles not enabled");
-        (0..self.prog.net_count).map(|n| lt[n * self.lanes + lane]).collect()
+    /// Per-net toggle counts of one lane (indexed by [`NetId::index`]),
+    /// or `None` when [`BatchExec::enable_lane_toggles`] was never
+    /// called or `lane` is not an active lane.
+    pub fn lane_toggle_table(&self, lane: usize) -> Option<Vec<u64>> {
+        if lane >= self.lanes {
+            return None;
+        }
+        let lt = self.lane_toggles.as_ref()?;
+        Some((0..self.prog.net_count).map(|n| lt[n * self.lanes + lane]).collect())
     }
 
     #[inline]
-    fn write(&mut self, dst: u32, val: W) {
+    fn write(&mut self, dst: u32, mut val: W) {
         let d = dst as usize;
         if d < self.prog.net_count {
+            if let Some(f) = &self.faults {
+                val = val.and(f.and[d]).or(f.or[d]).xor(f.xor[d]);
+            }
             let old = self.slots[d];
             let flips = old.xor(val).and(self.mask);
             flips.popcount_accum(W::splat(true), &mut self.toggles[d]);
@@ -174,6 +206,136 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
             }
         }
         self.slots[d] = val;
+    }
+
+    /// Install a [`FaultPlan`], compiling it into the per-slot mask
+    /// tables the write path consults. The plan is validated against
+    /// this executor's shape first; on error nothing changes. Stuck-at
+    /// faults force their lanes immediately (toggle-accounted like any
+    /// other transition); transient flips wait for their cycle, counted
+    /// in [`SimBackend::step`] calls from this installation. Installing
+    /// an empty plan is equivalent to [`BatchExec::clear_faults`].
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), EngineError> {
+        plan.validate(self.prog.net_count, self.lanes)?;
+        self.faults = None;
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let n = self.prog.net_count;
+        let mut st = Box::new(FaultState {
+            and: vec![W::splat(true); n],
+            or: vec![W::splat(false); n],
+            xor: vec![W::splat(false); n],
+            flips: Vec::new(),
+            next_flip: 0,
+            active_xor: Vec::new(),
+            cycle: 0,
+        });
+        let mut stuck_slots: Vec<u32> = Vec::new();
+        for f in plan.faults() {
+            let d = f.net.index();
+            match f.kind {
+                FaultKind::StuckAt0 => {
+                    st.and[d] = st.and[d].with_lane(f.lane, false);
+                    stuck_slots.push(d as u32);
+                }
+                FaultKind::StuckAt1 => {
+                    st.or[d] = st.or[d].with_lane(f.lane, true);
+                    stuck_slots.push(d as u32);
+                }
+                FaultKind::FlipAtCycle(c) => st.flips.push((c, d as u32, f.lane as u32)),
+            }
+        }
+        st.flips.sort_unstable();
+        stuck_slots.sort_unstable();
+        stuck_slots.dedup();
+        self.faults = Some(st);
+        // Force the stuck values onto the current slot contents so the
+        // fault is live before the next settle (write re-applies the
+        // masks and accounts the forced transitions as toggles).
+        for d in stuck_slots {
+            self.write(d, self.slots[d as usize]);
+        }
+        Ok(())
+    }
+
+    /// Remove the installed fault plan (if any). Slot values are left
+    /// as they are — the next settle recomputes every internal net
+    /// fault-free; input nets keep their last (possibly forced) value
+    /// until re-driven.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether a non-empty fault plan is currently installed.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Per-lane compare of `net` against a designated golden lane: one
+    /// 64-bit chunk per lane word, bit `l % 64` of chunk `l / 64` set
+    /// iff lane `l` disagrees with `golden_lane`. Inactive lanes (and
+    /// the golden lane itself) read as matching. Errors if
+    /// `golden_lane` is not an active lane.
+    pub fn mismatch_mask(&self, net: NetId, golden_lane: usize) -> Result<Vec<u64>, EngineError> {
+        if golden_lane >= self.lanes {
+            return Err(EngineError::LaneOutOfRange { lane: golden_lane, lanes: self.lanes });
+        }
+        if net.index() >= self.prog.net_count {
+            return Err(EngineError::NetOutOfRange { net: net.index(), net_count: self.prog.net_count });
+        }
+        let w = self.slots[net.index()];
+        let golden = w.lane(golden_lane);
+        Ok((0..W::WORDS)
+            .map(|wi| {
+                let chunk = w.get_u64(wi);
+                (if golden { !chunk } else { chunk }) & self.mask.get_u64(wi)
+            })
+            .collect())
+    }
+
+    /// Advance the transient-flip schedule by one cycle: lift the
+    /// previous cycle's XOR masks, arm this cycle's, and re-store every
+    /// affected slot through the masked write path (so flips on nets
+    /// nothing recomputes — primary inputs, idle state — still take
+    /// effect, and every inversion is toggle-accounted). Called at the
+    /// top of [`SimBackend::step`]; no-op without an installed plan.
+    fn advance_fault_cycle(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        // Lift the previous cycle's flips: the XOR masks are still
+        // armed, so re-storing a slot inverts it back to clean.
+        let mut i = 0;
+        while let Some(&d) = self.faults.as_ref().and_then(|f| f.active_xor.get(i)) {
+            self.write(d, self.slots[d as usize]);
+            i += 1;
+        }
+        let f = self.faults.as_mut().expect("checked above");
+        for &d in &f.active_xor {
+            f.xor[d as usize] = W::splat(false);
+        }
+        f.active_xor.clear();
+        // Arm this cycle's flips.
+        let cycle = f.cycle;
+        while let Some(&(c, d, lane)) = f.flips.get(f.next_flip) {
+            if c > cycle {
+                break;
+            }
+            f.next_flip += 1;
+            if c == cycle {
+                f.xor[d as usize] = f.xor[d as usize].with_lane(lane as usize, true);
+                f.active_xor.push(d);
+            }
+        }
+        f.active_xor.sort_unstable();
+        f.active_xor.dedup();
+        f.cycle += 1;
+        let mut i = 0;
+        while let Some(&d) = self.faults.as_ref().and_then(|f| f.active_xor.get(i)) {
+            self.write(d, self.slots[d as usize]);
+            i += 1;
+        }
     }
 
     /// Drive one lane of a net, leaving the others unchanged.
@@ -248,6 +410,7 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
     }
 
     fn step(&mut self) {
+        self.advance_fault_cycle();
         self.settle();
         // Capture: every next state from pre-edge values.
         for (i, c) in self.prog.commits.iter().enumerate() {
@@ -392,6 +555,14 @@ impl<'a> EngineSim<'a> {
         EngineSim::Wide(BatchExec::new(prog, module, lanes))
     }
 
+    /// Shrink the active lane set (see [`BatchExec::set_lanes`]).
+    pub fn set_lanes(&mut self, lanes: usize) -> Result<(), EngineError> {
+        match self {
+            EngineSim::Narrow(s) => s.set_lanes(lanes),
+            EngineSim::Wide(s) => s.set_lanes(lanes),
+        }
+    }
+
     /// Start per-lane toggle accounting (see
     /// [`BatchExec::enable_lane_toggles`]).
     pub fn enable_lane_toggles(&mut self) {
@@ -403,10 +574,43 @@ impl<'a> EngineSim<'a> {
 
     /// Per-net toggle counts of one lane (see
     /// [`BatchExec::lane_toggle_table`]).
-    pub fn lane_toggle_table(&self, lane: usize) -> Vec<u64> {
+    pub fn lane_toggle_table(&self, lane: usize) -> Option<Vec<u64>> {
         match self {
             EngineSim::Narrow(s) => s.lane_toggle_table(lane),
             EngineSim::Wide(s) => s.lane_toggle_table(lane),
+        }
+    }
+
+    /// Install a per-lane fault plan (see [`BatchExec::install_faults`]).
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), EngineError> {
+        match self {
+            EngineSim::Narrow(s) => s.install_faults(plan),
+            EngineSim::Wide(s) => s.install_faults(plan),
+        }
+    }
+
+    /// Remove the installed fault plan (see [`BatchExec::clear_faults`]).
+    pub fn clear_faults(&mut self) {
+        match self {
+            EngineSim::Narrow(s) => s.clear_faults(),
+            EngineSim::Wide(s) => s.clear_faults(),
+        }
+    }
+
+    /// Whether a non-empty fault plan is installed.
+    pub fn faults_installed(&self) -> bool {
+        match self {
+            EngineSim::Narrow(s) => s.faults_installed(),
+            EngineSim::Wide(s) => s.faults_installed(),
+        }
+    }
+
+    /// Per-lane compare against a golden lane (see
+    /// [`BatchExec::mismatch_mask`]).
+    pub fn mismatch_mask(&self, net: NetId, golden_lane: usize) -> Result<Vec<u64>, EngineError> {
+        match self {
+            EngineSim::Narrow(s) => s.mismatch_mask(net, golden_lane),
+            EngineSim::Wide(s) => s.mismatch_mask(net, golden_lane),
         }
     }
 }

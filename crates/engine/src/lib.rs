@@ -66,10 +66,12 @@
 
 pub mod compile;
 pub mod exec;
+pub mod fault;
 pub mod program;
 pub mod word;
 
 pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
+pub use fault::{EngineError, Fault, FaultKind, FaultPlan};
 pub use program::Program;
 pub use syndcim_ir::{default_threads, parallel_map, parallel_map_threads, Lowering, Symbol, Symbols};
 pub use word::{LaneWord, W256};
@@ -258,7 +260,7 @@ mod tests {
                 }
             }
             assert_eq!(
-                eng.lane_toggle_table(l),
+                eng.lane_toggle_table(l).expect("lane toggles enabled").as_slice(),
                 sim.toggle_table(),
                 "lane {l}: per-lane toggle table must equal its interpreter run"
             );
@@ -329,7 +331,7 @@ mod tests {
         let mut eng = BatchSim::new(&prog, &m, 64);
         eng.settle(); // y rises in all 64 lanes
         assert_eq!(eng.toggle_table()[y_net.index()], 64);
-        eng.set_lanes(4);
+        eng.set_lanes(4).unwrap();
         eng.poke_word(a_net, !0); // flips a (and y) in every lane, 4 active
         eng.settle();
         assert_eq!(eng.toggle_table()[a_net.index()], 4);

@@ -333,6 +333,65 @@ impl CompiledSta {
             .collect()
     }
 
+    /// `f_max` at each `(operating point, gate-delay multiplier)` pair —
+    /// the Monte-Carlo generalization of [`CompiledSta::fmax_many`].
+    ///
+    /// The multiplier models per-die process variation on top of the
+    /// corner's voltage/temperature `delay_scale`: every gate delay and
+    /// setup time scales by `delay_scale · mult` while unscaled wire
+    /// delay stays fixed, exactly the "second column" split the timing
+    /// model reserved. A multiplier of `1.0` reproduces the plain
+    /// corner **bit-identically** (IEEE-754 multiplication by one is
+    /// exact), so a zero-variation Monte-Carlo grid equals the nominal
+    /// shmoo run. Batches at or above the parallel threshold fan out
+    /// across cores with the same chunking — and therefore the same
+    /// order-identical results — as `fmax_many`.
+    pub fn fmax_many_scaled(&self, points: &[(OperatingPoint, f64)]) -> Vec<f64> {
+        telemetry::span!("sta.fmax_many_scaled");
+        telemetry::counter("sta.fmax_batches").incr();
+        telemetry::counter("sta.fmax_points").add(points.len() as u64);
+        let start = telemetry::enabled().then(std::time::Instant::now);
+        let out = if points.len() >= FMAX_PARALLEL_THRESHOLD {
+            let chunks: Vec<&[(OperatingPoint, f64)]> = points.chunks(FMAX_PARALLEL_CHUNK).collect();
+            parallel_map(chunks, |_, chunk| self.fmax_serial_scaled(chunk)).into_iter().flatten().collect()
+        } else {
+            self.fmax_serial_scaled(points)
+        };
+        if let Some(t) = start {
+            telemetry::histogram("sta.fmax_batch_ns").record(t.elapsed());
+        }
+        out
+    }
+
+    /// `f_max` of every Monte-Carlo sample at one operating point:
+    /// `lane_scales[l]` is lane `l`'s gate-delay multiplier (drawn from
+    /// a [`crate::VariationModel`]), and entry `l` of the result is
+    /// that virtual die's `f_max`. A thin lane-indexed veneer over
+    /// [`CompiledSta::fmax_many_scaled`], so 256 samples ride the same
+    /// parallel batch machinery as a 256-corner shmoo row.
+    pub fn fmax_distribution(&self, op: OperatingPoint, lane_scales: &[f64]) -> Vec<f64> {
+        let points: Vec<(OperatingPoint, f64)> = lane_scales.iter().map(|&s| (op, s)).collect();
+        self.fmax_many_scaled(&points)
+    }
+
+    /// Sequential scaled batch sharing one arrival buffer.
+    fn fmax_serial_scaled(&self, points: &[(OperatingPoint, f64)]) -> Vec<f64> {
+        let mut arrival = vec![f64::NEG_INFINITY; self.net_count];
+        points
+            .iter()
+            .map(|&(op, mult)| {
+                let scale = op.delay_scale(&self.process) * mult;
+                self.propagate::<false>(scale, &mut arrival, &mut [], &mut []);
+                let (max_delay, _) = self.reduce_endpoints(scale, &arrival);
+                if max_delay > 0.0 {
+                    1e6 / max_delay
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
+
     /// One full analysis into caller-provided scratch space.
     fn analyze_into(&self, period_ps: f64, op: OperatingPoint, scratch: &mut Scratch) -> TimingReport {
         let scale = op.delay_scale(&self.process);
@@ -614,6 +673,51 @@ mod tests {
         let c = csta.analyze_at(1000.0, op);
         assert_eq!(r.max_delay_ps, c.max_delay_ps);
         assert_eq!(r.fmax_mhz, c.fmax_mhz);
+    }
+
+    /// A unit multiplier must leave the batch bit-identical to the
+    /// plain corner pass, and per-sample results must equal sequential
+    /// single-sample queries in order.
+    #[test]
+    fn unit_multiplier_is_bit_identical_to_fmax_many() {
+        let lib = lib();
+        let m = mixed_module(&lib);
+        let csta = Sta::new(&m, &lib).unwrap().compile();
+        let ops: Vec<OperatingPoint> = (0..(FMAX_PARALLEL_THRESHOLD + 5))
+            .map(|i| OperatingPoint::at_voltage(0.55 + 0.01 * i as f64))
+            .collect();
+        let unit: Vec<(OperatingPoint, f64)> = ops.iter().map(|&op| (op, 1.0)).collect();
+        assert_eq!(csta.fmax_many_scaled(&unit), csta.fmax_many(&ops));
+    }
+
+    #[test]
+    fn fmax_distribution_equals_sequential_single_sample_queries() {
+        let lib = lib();
+        let m = mixed_module(&lib);
+        let csta = Sta::new(&m, &lib).unwrap().compile();
+        let op = OperatingPoint::at_voltage(0.85);
+        let scales = crate::VariationModel::gaussian(0.08).sample(0xD1E, 64);
+        let batch = csta.fmax_distribution(op, &scales);
+        for (l, &s) in scales.iter().enumerate() {
+            assert_eq!(batch[l], csta.fmax_many_scaled(&[(op, s)])[0], "lane {l}");
+        }
+        // Slower dies (larger multipliers) can never be faster.
+        for (l, &s) in scales.iter().enumerate() {
+            if s > 1.0 {
+                assert!(batch[l] <= csta.fmax_mhz(op), "lane {l}");
+            }
+        }
+    }
+
+    /// Sub-Vth corners degrade to fmax 0 instead of panicking, with or
+    /// without a variation multiplier.
+    #[test]
+    fn scaled_sub_threshold_corner_degrades_gracefully() {
+        let lib = lib();
+        let m = mixed_module(&lib);
+        let csta = Sta::new(&m, &lib).unwrap().compile();
+        let op = OperatingPoint::at_voltage(0.3);
+        assert_eq!(csta.fmax_many_scaled(&[(op, 0.9), (op, 1.1)]), vec![0.0, 0.0]);
     }
 
     #[test]

@@ -44,8 +44,10 @@ use syndcim_netlist::{Connectivity, InstId, Module, NetId, NetlistError, PortDir
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 
 pub mod compiled;
+pub mod variation;
 
 pub use compiled::CompiledSta;
+pub use variation::VariationModel;
 
 /// Post-layout wire annotations, indexed by [`NetId::index`].
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,127 @@
+//! Yield explorer: Monte-Carlo variation and fault injection on the
+//! 64×64 paper test chip.
+//!
+//! Two robustness views of one implemented macro:
+//!
+//! 1. **Variation-aware shmoo** — every engine lane becomes a virtual
+//!    die with its own gate-delay multiplier sampled from a gaussian
+//!    process model; the (V, f) grid reports the *fraction* of dies
+//!    passing at each point instead of a single pass/fail bit, so the
+//!    classic shmoo wall opens into a yield band.
+//! 2. **Fault-coverage campaign** — stuck-at and transient-flip faults
+//!    injected into individual lanes of one weight-update run (lane 0
+//!    stays golden); the report says which faults a write-readback
+//!    test detects and what the surviving escapes cost in energy.
+//!
+//! Output follows the flow-report convention:
+//!
+//! * `SYNDCIM_TRACE=summary` (or unset): rendered yield bands +
+//!   campaign table + telemetry summary on stdout;
+//! * `SYNDCIM_TRACE=json`: deterministic-schema JSON written to
+//!   `YieldReport.json` (override with `SYNDCIM_YIELD_REPORT`), the
+//!   artifact CI uploads.
+//!
+//! Run with `cargo run --release --example yield_explorer`.
+
+use syndcim_core::{
+    implement, measure_weight_update_coverage, port_net, DesignChoice, FaultKind, MacroSpec, VariationModel,
+    YieldReport,
+};
+use syndcim_pdk::{CellLibrary, OperatingPoint};
+use syndcim_telemetry as telemetry;
+
+fn main() {
+    if telemetry::mode() == telemetry::Mode::Off {
+        telemetry::set_mode(telemetry::Mode::Summary);
+    }
+
+    let lib = CellLibrary::syn40();
+    let spec = MacroSpec::paper_test_chip();
+    let im = {
+        telemetry::span!("yield_explorer.implement");
+        implement(&lib, &spec, &DesignChoice::default()).expect("paper test chip implements")
+    };
+
+    // --- Monte-Carlo yield band -------------------------------------
+    let voltages: Vec<f64> = (0..8).map(|i| 0.55 + 0.1 * i as f64).collect();
+    let freqs: Vec<f64> = (1..=10).map(|i| i as f64 * 150.0).collect();
+    let model = VariationModel::gaussian(0.08);
+    let samples = 128;
+    let report = {
+        telemetry::span!("yield_explorer.shmoo_yield");
+        YieldReport::generate(&im, &voltages, &freqs, model, samples, 0xD1CE)
+            .expect("axes and sample count are valid")
+    };
+    println!(
+        "yield shmoo: {} dies/point, sigma {:.2} ({} voltages x {} frequencies in one batch)",
+        samples,
+        model.sigma,
+        voltages.len(),
+        freqs.len()
+    );
+    println!("{}", report.shmoo.render());
+    for (min_yield, label) in [(1.0, "100%"), (0.5, "50%")] {
+        let vi = voltages.len() - 1;
+        match report.shmoo.fmax_at_yield(vi, min_yield) {
+            Some(f) => println!("  fmax @ {:.2} V at {label} yield: {f:.0} MHz", voltages[vi]),
+            None => println!("  no frequency yields {label} at {:.2} V", voltages[vi]),
+        }
+    }
+
+    // --- fault-coverage campaign ------------------------------------
+    let op = OperatingPoint::at_voltage(0.9);
+    let writes = (spec.h * spec.mcr) as u64;
+    let campaign: Vec<(&str, FaultKind)> = vec![
+        ("wbl[0]", FaultKind::StuckAt0),
+        ("wbl[1]", FaultKind::StuckAt1),
+        ("wbl[31]", FaultKind::StuckAt0),
+        ("wbl[63]", FaultKind::StuckAt1),
+        ("wbl[2]", FaultKind::FlipAtCycle(0)),
+        ("wbl[2]", FaultKind::FlipAtCycle(writes / 2)),
+        ("wbl[2]", FaultKind::FlipAtCycle(writes + 64)), // after the burst: can't be stored
+        ("act[0]", FaultKind::StuckAt1),                 // MAC path: invisible to a write-readback
+        ("neg", FaultKind::StuckAt0),                    // already low during weight updates
+    ];
+    let faults: Vec<_> = campaign
+        .iter()
+        .map(|&(port, kind)| (port_net(&im, port).expect("campaign targets existing ports"), kind))
+        .collect();
+    let coverage = {
+        telemetry::span!("yield_explorer.fault_coverage");
+        measure_weight_update_coverage(&im, op, 400.0, 99, &faults).expect("campaign fits the engine lanes")
+    };
+    println!(
+        "fault campaign: {}/{} detected ({:.0}% coverage), {} bits written per lane",
+        coverage.detected,
+        coverage.injected,
+        coverage.coverage() * 100.0,
+        coverage.bits_written
+    );
+    for &i in &coverage.survivors {
+        let (port, kind) = campaign[i];
+        println!("  survivor: {kind:?} on `{port}`");
+    }
+    println!(
+        "  write energy: golden {:.2} fJ/bit, survivors {:.2} ± {:.2} fJ/bit",
+        coverage.golden_energy_per_bit_fj,
+        coverage.survivor_energy_per_bit_fj,
+        coverage.survivor_energy_per_bit_std_fj
+    );
+    assert!(coverage.detected >= 5, "stuck/flipped write bitlines must be caught");
+    assert!(!coverage.survivors.is_empty(), "the campaign includes undetectable faults by design");
+
+    match telemetry::mode() {
+        telemetry::Mode::Json => {
+            let path =
+                std::env::var("SYNDCIM_YIELD_REPORT").unwrap_or_else(|_| "YieldReport.json".to_string());
+            let json = format!(
+                "{{\"schema\":\"syndcim-yield-explorer-v1\",\"yield\":{},\"fault_coverage\":{}}}\n",
+                report.to_json(),
+                coverage.to_json()
+            );
+            std::fs::write(&path, json).expect("write yield report");
+            println!("wrote {path}");
+        }
+        _ => println!("\n{}", telemetry::snapshot().render()),
+    }
+}
