@@ -1,0 +1,72 @@
+//! Artifact bench: `.scim` save/load on the 64×64 paper test chip,
+//! versus the compile it replaces.
+//!
+//! Three numbers are measured and merged into `BENCH_engine.json`:
+//!
+//! * **`artifact_save_ms` / `artifact_load_ms`** — serializing the
+//!   compiled trinity to container bytes and loading it back (the
+//!   wiring-only path: no lowering, levelization or interning);
+//! * **`artifact_load_speedup`** — compile time over load time, the
+//!   compile-once/serve-many headline (higher is better, gated by
+//!   `bench_diff`'s `_speedup` direction inference);
+//! * **`artifact_size_bytes`** — the container size, which is fully
+//!   deterministic (no timestamps, exact IEEE-754 bit patterns) and so
+//!   doubles as a format-drift tripwire.
+//!
+//! A smoke pass asserts the loaded bundle answers fmax bit-identically
+//! before any number is recorded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use syndcim_bench::merge_bench_artifact;
+use syndcim_core::{assemble, CompiledMacro, DesignChoice, MacroSpec};
+use syndcim_pdk::{CellLibrary, OperatingPoint};
+use syndcim_sta::WireLoads;
+
+fn bench_artifact(c: &mut Criterion) {
+    let lib = CellLibrary::syn40();
+    let spec = MacroSpec::paper_test_chip();
+    let mac = assemble(&lib, &spec, &DesignChoice::default());
+    let module = &mac.module;
+    let wires = WireLoads::zero(module.net_count());
+
+    let compile = c.bench_stats("artifact_compile_64x64", |b| {
+        b.iter(|| CompiledMacro::compile(module, &lib, &wires).expect("the paper chip compiles"))
+    });
+
+    let cm = CompiledMacro::compile(module, &lib, &wires).expect("the paper chip compiles");
+    let bytes = cm.save_to_vec().expect("save never fails in memory");
+    let save = c.bench_stats("artifact_save_64x64", |b| b.iter(|| cm.save_to_vec().unwrap()));
+    let load =
+        c.bench_stats("artifact_load_64x64", |b| b.iter(|| CompiledMacro::load_from_bytes(&bytes).unwrap()));
+
+    // Smoke: the loaded bundle must answer bit-identically before its
+    // load time is worth recording.
+    let loaded = CompiledMacro::load_from_bytes(&bytes).unwrap();
+    let op = OperatingPoint::at_voltage(0.9);
+    assert_eq!(loaded.sta.fmax_mhz(op), cm.sta.fmax_mhz(op), "loaded fmax must be bit-identical");
+    assert_eq!(loaded.save_to_vec().unwrap(), bytes, "save→load→save must be a byte fixpoint");
+
+    let compile_ms = compile.ns_per_iter / 1e6;
+    let save_ms = save.ns_per_iter / 1e6;
+    let load_ms = load.ns_per_iter / 1e6;
+    let speedup = compile.ns_per_iter / load.ns_per_iter;
+    println!(
+        "artifact: {} bytes, compile {compile_ms:.2} ms, save {save_ms:.2} ms, \
+         load {load_ms:.2} ms ({speedup:.1}x faster than the compile it replaces)",
+        bytes.len()
+    );
+
+    merge_bench_artifact(
+        &["artifact_"],
+        &[
+            ("artifact_compile_64x64_ms", compile_ms),
+            ("artifact_save_ms", save_ms),
+            ("artifact_load_ms", load_ms),
+            ("artifact_load_speedup", speedup),
+            ("artifact_size_bytes", bytes.len() as f64),
+        ],
+    );
+}
+
+criterion_group!(benches, bench_artifact);
+criterion_main!(benches);

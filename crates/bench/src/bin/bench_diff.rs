@@ -95,6 +95,30 @@ fn missing_warned_keys(
     warned.iter().filter(|k| !baseline.contains_key(*k) || !fresh.contains_key(*k)).cloned().collect()
 }
 
+/// What an unreadable baseline/fresh artifact amounts to, given the
+/// committed warning trajectory. A missing artifact with no armed
+/// warnings is a benign "nothing to compare"; with armed warnings it
+/// means every warned key "no longer exists" in that artifact — the
+/// gates cannot be checked, so hard mode must fail rather than silently
+/// pass, and warn-only mode must say so loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnreadableVerdict {
+    /// No warnings armed: comparing nothing is fine, exit 0 quietly.
+    NothingToCompare,
+    /// Armed warnings, warn-only mode: print the uncheckable keys.
+    WarnUncheckable,
+    /// Armed warnings, hard mode: fail the run.
+    FailUncheckable,
+}
+
+fn unreadable_verdict(warned: &BTreeSet<String>, hard_mode: bool) -> UnreadableVerdict {
+    match (warned.is_empty(), hard_mode) {
+        (true, _) => UnreadableVerdict::NothingToCompare,
+        (false, false) => UnreadableVerdict::WarnUncheckable,
+        (false, true) => UnreadableVerdict::FailUncheckable,
+    }
+}
+
 struct Args {
     baseline_path: String,
     fresh_path: String,
@@ -152,29 +176,50 @@ fn main() {
     };
     let threshold = args.fail_threshold.unwrap_or(WARN_THRESHOLD);
 
+    // The committed warning trajectory is loaded first: an unreadable
+    // artifact below means every warned key "no longer exists" on that
+    // side, which must never disarm the gates silently.
+    let warned = std::fs::read_to_string(&args.warnings_path).map(|s| parse_warnings(&s)).unwrap_or_default();
+    let unreadable = |what: &str, path: &str, e: &std::io::Error| match unreadable_verdict(
+        &warned,
+        args.fail_threshold.is_some(),
+    ) {
+        UnreadableVerdict::NothingToCompare => {
+            println!("bench_diff: no {what} at {path} ({e}) — nothing to compare, exiting 0");
+        }
+        UnreadableVerdict::WarnUncheckable => {
+            println!(
+                "bench_diff: ERROR — no {what} at {path} ({e}), so {} armed warning key(s) \
+                     cannot be checked: {}",
+                warned.len(),
+                warned.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            );
+        }
+        UnreadableVerdict::FailUncheckable => {
+            println!(
+                "bench_diff: ERROR — no {what} at {path} ({e}), so {} armed warning key(s) \
+                     cannot be checked: {}",
+                warned.len(),
+                warned.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            );
+            println!("bench_diff: FAILING — armed gates must not disarm silently");
+            std::process::exit(1);
+        }
+    };
     let baseline = match std::fs::read_to_string(&args.baseline_path) {
         Ok(s) => parse_bench_artifact(&s),
         Err(e) => {
-            println!(
-                "bench_diff: no baseline at {} ({e}) — nothing to compare, exiting 0",
-                args.baseline_path
-            );
+            unreadable("baseline", &args.baseline_path, &e);
             return;
         }
     };
     let fresh = match std::fs::read_to_string(&args.fresh_path) {
         Ok(s) => parse_bench_artifact(&s),
         Err(e) => {
-            println!(
-                "bench_diff: no fresh artifact at {} ({e}) — nothing to compare, exiting 0",
-                args.fresh_path
-            );
+            unreadable("fresh artifact", &args.fresh_path, &e);
             return;
         }
     };
-    // The committed warning trajectory only gates hard mode; in
-    // warn-only mode a missing file is simply an empty set.
-    let warned = std::fs::read_to_string(&args.warnings_path).map(|s| parse_warnings(&s)).unwrap_or_default();
 
     let mode = match args.fail_threshold {
         Some(t) => format!("hard mode, fail sustained regressions beyond ±{:.0}%", t * 100.0),
@@ -332,6 +377,17 @@ mod tests {
             [("here_ms".to_string(), 1.0), ("fresh_only_ms".to_string(), 3.0)].into();
         let missing = missing_warned_keys(&warned, &baseline, &fresh);
         assert_eq!(missing, vec!["fresh_only_ms".to_string(), "gone_ms".to_string()]);
+    }
+
+    #[test]
+    fn unreadable_artifacts_never_silently_disarm_warned_keys() {
+        let armed: BTreeSet<String> = ["engine64_vps".to_string()].into();
+        // No warnings armed: a missing artifact is a benign no-op.
+        assert_eq!(unreadable_verdict(&BTreeSet::new(), false), UnreadableVerdict::NothingToCompare);
+        assert_eq!(unreadable_verdict(&BTreeSet::new(), true), UnreadableVerdict::NothingToCompare);
+        // Armed warnings: warn-only mode prints the error, hard mode fails.
+        assert_eq!(unreadable_verdict(&armed, false), UnreadableVerdict::WarnUncheckable);
+        assert_eq!(unreadable_verdict(&armed, true), UnreadableVerdict::FailUncheckable);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod arithmetic_support;
+pub mod artifact;
 pub mod assemble;
 pub mod baseline;
 pub mod compiled;
@@ -50,6 +51,7 @@ pub mod search;
 pub mod shmoo;
 pub mod spec;
 
+pub use artifact::ARTIFACT_FORMAT;
 pub use assemble::{assemble, MacroNetlist};
 pub use baseline::BaselineKind;
 pub use compiled::CompiledMacro;
@@ -73,4 +75,5 @@ pub use spec::{MacroSpec, PpaWeights, SpecError};
 // Fault-plan and variation building blocks, re-exported so campaign
 // and yield code needs only `syndcim_core`.
 pub use syndcim_engine::{EngineError, Fault, FaultKind, FaultPlan};
+pub use syndcim_ir::artifact::{ArtifactError, ArtifactMeta, ArtifactReader, SectionId};
 pub use syndcim_sta::VariationModel;

@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod compile;
 pub mod exec;
 pub mod fault;

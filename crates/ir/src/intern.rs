@@ -42,6 +42,13 @@ impl Symbol {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild a symbol from its dense id. Crate-internal: only the
+    /// artifact decoder constructs symbols this way, and it validates
+    /// every id against the decoded interner before handing them out.
+    pub(crate) fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
 }
 
 /// Mutable, deduplicating interner used while names are collected.
@@ -103,6 +110,23 @@ pub struct Interner {
 }
 
 impl Interner {
+    /// Rebuild a frozen interner from its raw arena and offset table.
+    /// Crate-internal: the artifact decoder is the only caller, and it
+    /// has already checked the offsets are monotone char boundaries.
+    pub(crate) fn from_parts(buf: String, ends: Vec<u32>) -> Interner {
+        Interner { buf: buf.into_boxed_str(), ends: ends.into_boxed_slice() }
+    }
+
+    /// The raw byte arena (artifact encoder only).
+    pub(crate) fn buf(&self) -> &str {
+        &self.buf
+    }
+
+    /// The raw end-offset table (artifact encoder only).
+    pub(crate) fn ends(&self) -> &[u32] {
+        &self.ends
+    }
+
     /// The string a symbol stands for.
     ///
     /// # Panics
@@ -147,35 +171,35 @@ const NO_PARENT: u32 = u32::MAX;
 /// no compiled artifact owns a per-net or per-instance `String` again.
 #[derive(Debug, Clone)]
 pub struct Symbols {
-    interner: Arc<Interner>,
+    pub(crate) interner: Arc<Interner>,
     /// Net name per dense net slot.
-    net_syms: Arc<[Symbol]>,
+    pub(crate) net_syms: Arc<[Symbol]>,
     /// Instance name per instance index.
-    inst_syms: Arc<[Symbol]>,
+    pub(crate) inst_syms: Arc<[Symbol]>,
     /// Group id per instance index.
-    inst_group: Arc<[u32]>,
+    pub(crate) inst_group: Arc<[u32]>,
     /// Full hierarchical group path per group id (`"regs/bank0"`).
-    group_syms: Arc<[Symbol]>,
+    pub(crate) group_syms: Arc<[Symbol]>,
     /// Top-level head of each group path (`"regs"`), matching the
     /// reference power analyzer's breakdown keys.
-    group_head_syms: Arc<[Symbol]>,
+    pub(crate) group_head_syms: Arc<[Symbol]>,
     /// Path-tree node per group id (see `node_*` below).
-    group_node: Arc<[u32]>,
+    pub(crate) group_node: Arc<[u32]>,
     /// The hierarchical path tree: one node per distinct group path
     /// *and per prefix of one* (`"regs/bank0"` contributes `"regs"` and
     /// `"regs/bank0"` even when only the latter was pushed as a group).
     /// Parents always precede children, so a single reverse pass rolls
     /// subtree aggregates up the hierarchy.
-    node_syms: Arc<[Symbol]>,
+    pub(crate) node_syms: Arc<[Symbol]>,
     /// Parent node per node; `NO_PARENT` for hierarchy roots (the
     /// roots are exactly the top-level heads).
-    node_parent: Arc<[u32]>,
+    pub(crate) node_parent: Arc<[u32]>,
     /// Boundary-port symbols, sorted by port name — the shared lookup
     /// table behind [`Symbols::port_net`], so simulation backends stop
     /// building per-executor `HashMap<String, NetId>` port tables.
-    port_syms: Arc<[Symbol]>,
+    pub(crate) port_syms: Arc<[Symbol]>,
     /// Net slot bound to each entry of `port_syms` (same order).
-    port_nets: Arc<[u32]>,
+    pub(crate) port_nets: Arc<[u32]>,
 }
 
 impl Symbols {

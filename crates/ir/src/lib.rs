@@ -45,10 +45,14 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod intern;
 pub mod lowering;
 pub mod runner;
 
+pub use artifact::{
+    ArtifactError, ArtifactMeta, ArtifactReader, ArtifactWriter, SectionId, SectionReader, SectionWriter,
+};
 pub use intern::{Interner, InternerBuilder, Symbol, Symbols};
 pub use lowering::Lowering;
 pub use runner::{default_threads, parallel_map, parallel_map_threads};

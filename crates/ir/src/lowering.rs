@@ -133,6 +133,21 @@ impl Lowering {
         net.index() as u32
     }
 
+    /// Reassemble a lowering from already-built tables. Crate-internal:
+    /// the artifact decoder is the only caller. Deliberately does *not*
+    /// bump the build counter — loading an artifact is wiring-only, and
+    /// `Lowering::builds()` staying flat across a load is exactly the
+    /// invariant the roundtrip tests pin.
+    pub(crate) fn from_parts(
+        conn: Connectivity,
+        order: Vec<InstId>,
+        net_count: usize,
+        symbols: Symbols,
+        validated: bool,
+    ) -> Self {
+        Lowering { conn, order, net_count, symbols, validated }
+    }
+
     /// Number of `Lowering`s *built* so far in this process (clones do
     /// not count). A diagnostic counter: the "compiled trinity" tests
     /// use it to pin that one `implement` call walks the netlist exactly

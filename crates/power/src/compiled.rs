@@ -75,40 +75,40 @@ use crate::analyzer::{PowerAnalyzer, PowerReport};
 #[derive(Debug, Clone)]
 pub struct CompiledPower {
     /// Process parameters (cloned so the program is self-contained).
-    process: Process,
-    net_count: usize,
+    pub(crate) process: Process,
+    pub(crate) net_count: usize,
 
     // Flattened instance outputs, instance-major in instance order
     // (SoA). `out_cap_ff` is the baked total load (pins + port + wire),
     // `out_internal_fj` the driving cell's internal energy.
-    out_slot: Vec<u32>,
-    out_cap_ff: Vec<f64>,
-    out_internal_fj: Vec<f64>,
+    pub(crate) out_slot: Vec<u32>,
+    pub(crate) out_cap_ff: Vec<f64>,
+    pub(crate) out_internal_fj: Vec<f64>,
     /// Outputs of instance `i` span `inst_out_start[i]..inst_out_start[i+1]`.
-    inst_out_start: Vec<u32>,
+    pub(crate) inst_out_start: Vec<u32>,
     /// Dense group-head index per instance (top-level aggregation, the
     /// seed semantics of `by_group_pj`).
-    inst_group: Vec<u32>,
+    pub(crate) inst_group: Vec<u32>,
     /// Interned group-head names, indexed by `inst_group` values —
     /// resolved lazily against `syms`; the program owns no name
     /// `String`s.
-    group_head_syms: Vec<Symbol>,
+    pub(crate) group_head_syms: Vec<Symbol>,
     /// Shared interned name tables (from the lowering's interner) —
     /// also carry the hierarchical group-path tree (`group_node` /
     /// `node_parent`) behind the [`CompiledPower::by_path_pj`]
     /// drill-down.
-    syms: Symbols,
+    pub(crate) syms: Symbols,
 
     // Input-port nets: pin load charged by the external driver.
-    in_port_slot: Vec<u32>,
-    in_port_load_ff: Vec<f64>,
+    pub(crate) in_port_slot: Vec<u32>,
+    pub(crate) in_port_load_ff: Vec<f64>,
 
     /// Sum of sequential clock-pin energies in fJ (instance order).
-    clock_regs_fj: f64,
+    pub(crate) clock_regs_fj: f64,
     /// Total cell leakage in nW (instance order).
-    leakage_total_nw: f64,
-    glitch_factor: f64,
-    clock_tree_overhead: f64,
+    pub(crate) leakage_total_nw: f64,
+    pub(crate) glitch_factor: f64,
+    pub(crate) clock_tree_overhead: f64,
 }
 
 impl<'a> PowerAnalyzer<'a> {

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod analyzer;
+pub mod artifact;
 pub mod compiled;
 pub mod metrics;
 

@@ -80,33 +80,33 @@ const FMAX_PARALLEL_CHUNK: usize = 8;
 #[derive(Debug, Clone)]
 pub struct CompiledSta {
     /// Process parameters (cloned so the program is self-contained).
-    process: Process,
-    net_count: usize,
+    pub(crate) process: Process,
+    pub(crate) net_count: usize,
 
     /// Slots of primary-input nets (arrival 0 at analysis start).
-    input_slots: Vec<u32>,
+    pub(crate) input_slots: Vec<u32>,
 
     // Launch records — one per sequential instance, in instance order.
-    launch_slot: Vec<u32>,
-    launch_base_ps: Vec<f64>,
-    launch_wire_ps: Vec<f64>,
-    launch_inst: Vec<u32>,
+    pub(crate) launch_slot: Vec<u32>,
+    pub(crate) launch_base_ps: Vec<f64>,
+    pub(crate) launch_wire_ps: Vec<f64>,
+    pub(crate) launch_inst: Vec<u32>,
 
     // Timing arcs in levelized order (SoA). `base_ps` is the
     // load-dependent logical-effort delay at the nominal corner;
     // `wire_ps` the unscaled RC wire delay at the arc's output net.
-    arc_src: Vec<u32>,
-    arc_dst: Vec<u32>,
-    arc_base_ps: Vec<f64>,
-    arc_wire_ps: Vec<f64>,
-    arc_inst: Vec<u32>,
+    pub(crate) arc_src: Vec<u32>,
+    pub(crate) arc_dst: Vec<u32>,
+    pub(crate) arc_base_ps: Vec<f64>,
+    pub(crate) arc_wire_ps: Vec<f64>,
+    pub(crate) arc_inst: Vec<u32>,
 
     // Endpoints: output ports first (no setup), then sequential data
     // pins (setup scales with the operating point) — the reference
     // analyzer's exact visitation order, so ties break identically.
-    port_end_slot: Vec<u32>,
-    seq_end_slot: Vec<u32>,
-    seq_end_setup_ps: Vec<f64>,
+    pub(crate) port_end_slot: Vec<u32>,
+    pub(crate) seq_end_slot: Vec<u32>,
+    pub(crate) seq_end_setup_ps: Vec<f64>,
 
     /// Interned net/instance/group names for critical-path
     /// reconstruction — shared `Arc` handles into the lowering's
@@ -114,7 +114,7 @@ pub struct CompiledSta {
     /// compiled program owns **no** `String` tables: on a 10⁶-net macro
     /// the name footprint is the 4-byte symbol tables plus one shared
     /// interner, instead of three owned string clones per element.
-    syms: Symbols,
+    pub(crate) syms: Symbols,
 }
 
 impl<'a> Sta<'a> {

@@ -43,6 +43,7 @@ use syndcim_ir::Lowering;
 use syndcim_netlist::{Connectivity, InstId, Module, NetId, NetlistError, PortDir};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 
+pub mod artifact;
 pub mod compiled;
 pub mod variation;
 

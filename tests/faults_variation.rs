@@ -20,14 +20,15 @@
 
 use rand::Rng;
 use syndcim_core::{
-    assemble, implement, measure_fp, measure_int, measure_weight_update_patterns, shmoo_yield, DesignChoice,
-    EvalBackend, FaultPlan, FlowError, MacroSpec, VariationModel,
+    assemble, implement, measure_fp, measure_int, measure_weight_update_patterns, shmoo_yield, CompiledMacro,
+    DesignChoice, EvalBackend, FaultPlan, FlowError, MacroSpec, VariationModel,
 };
 use syndcim_engine::{BatchSim, BatchSim256, EngineError, EngineSim, Lowering, Program};
 use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_sim::vectors::seeded_rng;
 use syndcim_sim::SimBackend;
+use syndcim_sta::WireLoads;
 
 fn small_spec() -> MacroSpec {
     MacroSpec {
@@ -177,6 +178,54 @@ fn monte_carlo_256_lane_batch_equals_256_sequential_single_lane_runs() {
         let single = im.compiled.sta.fmax_distribution(op, &[s]);
         assert_eq!(batch[l], single[0], "lane {l}: batched MC must equal the sequential run");
     }
+}
+
+/// A bundle loaded from a `.scim` artifact must be a full citizen of
+/// the fault-injection and Monte-Carlo subsystem: fault plans install
+/// on its program and run bit-identically to the in-memory compile on
+/// both backends, and `fmax_distribution` over the same variation
+/// samples is pinned sample-for-sample.
+#[test]
+fn loaded_artifacts_accept_faults_and_variation_bit_identically() {
+    let lib = CellLibrary::syn40();
+    let mac = assemble(&lib, &small_spec(), &DesignChoice::default());
+    let module = &mac.module;
+    let cm = CompiledMacro::compile(module, &lib, &WireLoads::zero(module.net_count())).unwrap();
+    let loaded = CompiledMacro::load_from_bytes(&cm.save_to_vec().unwrap()).unwrap();
+    let in_nets: Vec<NetId> = module.input_ports().map(|p| p.net).collect();
+
+    // A plan that actually fires mid-run: a stuck-at plus transient
+    // flips inside the 24-cycle window.
+    let mut plan = FaultPlan::new();
+    plan.stuck_at(in_nets[0], 1, true);
+    plan.flip_at(in_nets[1], 2, 5);
+    plan.flip_at(in_nets[2], 3, 11);
+
+    // Narrow (u64) backend.
+    let mut fresh = BatchSim::new(&cm.program, module, 4);
+    fresh.install_faults(&plan).unwrap();
+    let mut back = BatchSim::new(&loaded.program, module, 4);
+    back.install_faults(&plan).unwrap();
+    assert_lockstep(&mut [&mut fresh, &mut back], &in_nets, 24, 0xFA19);
+
+    // Wide (W256) backend, lanes spanning a word seam.
+    let mut plan_w = FaultPlan::new();
+    plan_w.stuck_at(in_nets[0], 63, true);
+    plan_w.flip_at(in_nets[1], 64, 7);
+    let mut fresh_w = BatchSim256::new(&cm.program, module, 70);
+    fresh_w.install_faults(&plan_w).unwrap();
+    let mut back_w = BatchSim256::new(&loaded.program, module, 70);
+    back_w.install_faults(&plan_w).unwrap();
+    assert_lockstep(&mut [&mut fresh_w, &mut back_w], &in_nets, 24, 0xFA1A);
+
+    // Monte-Carlo fmax distribution from the loaded STA columns.
+    let op = OperatingPoint::at_voltage(0.9);
+    let scales = VariationModel::gaussian(0.09).sample(0xA57E_FAC7, 64);
+    assert_eq!(
+        loaded.sta.fmax_distribution(op, &scales),
+        cm.sta.fmax_distribution(op, &scales),
+        "the loaded artifact's Monte-Carlo fmax must be pinned to the in-memory compile"
+    );
 }
 
 #[test]
