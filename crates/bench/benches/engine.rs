@@ -12,6 +12,10 @@
 //!
 //! * the `u64` engine is not ≥ 10× the interpreter (PR 1's bar),
 //! * the 256-lane wide backend is not ≥ 2× the `u64` backend,
+//! * an ISA-native backend (AVX2/AVX-512, measured only where the CPU
+//!   supports it) is slower than the portable word at equal width, or
+//!   the 512-lane AVX-512 word is not ≥ 1.5× the portable 256-lane
+//!   word in vectors/sec at equal total work,
 //! * engine-backed SCL characterization is not ≥ 2× the seed's
 //!   interpreter-backed path,
 //! * disabled-mode telemetry costs more than 2% of the baseline's
@@ -25,7 +29,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use syndcim_core::{assemble, search, DesignChoice, MacroSpec};
-use syndcim_engine::{BatchSim, EngineSim, Program};
+use syndcim_engine::{BatchSim, EngineSim, Program, SimdBackend};
 use syndcim_netlist::NetId;
 use syndcim_pdk::CellLibrary;
 use syndcim_scl::Scl;
@@ -107,6 +111,33 @@ fn bench_engine(c: &mut Criterion) {
         });
     });
 
+    // ISA-native SIMD backends vs the portable words, pinned per arm so
+    // the comparison is apples-to-apples: same lane count, same
+    // stimulus cost, only the lane word differs. ISA arms run only
+    // where the CPU supports them; their keys are written only when
+    // measured.
+    let mut bench_backend = |name: &str, lanes: usize, backend: SimdBackend| {
+        let stats = c.bench_stats(name, |b| {
+            let mut sim = EngineSim::with_backend(&prog, module, lanes, backend).unwrap();
+            let mut state = 0x5EED;
+            b.iter(|| {
+                for &net in &in_nets {
+                    for wi in 0..sim.words() {
+                        sim.poke_word_at(net, wi, next_word(&mut state));
+                    }
+                }
+                sim.step();
+            });
+        });
+        lanes as f64 * 1e9 / stats.ns_per_iter
+    };
+    let engine512_vps = bench_backend("engine_512vectors_paper_chip", 512, SimdBackend::Portable);
+    let avx2_vps =
+        SimdBackend::Avx2.detected().then(|| bench_backend("engine_avx2_256vectors", 256, SimdBackend::Avx2));
+    let avx512_vps = SimdBackend::Avx512
+        .detected()
+        .then(|| bench_backend("engine_avx512_512vectors", 512, SimdBackend::Avx512));
+
     let interp_vps = 1e9 / interp.ns_per_iter;
     let engine64_vps = 64.0 * 1e9 / engine64.ns_per_iter;
     let engine256_vps = 256.0 * 1e9 / engine256.ns_per_iter;
@@ -115,6 +146,17 @@ fn bench_engine(c: &mut Criterion) {
     println!("interpreter:  {interp_vps:>12.0} vectors/s");
     println!("engine u64:   {engine64_vps:>12.0} vectors/s  ({ratio64:.1}x interpreter)");
     println!("engine wide:  {engine256_vps:>12.0} vectors/s  ({wide_ratio:.2}x u64 backend)");
+    println!("engine w512:  {engine512_vps:>12.0} vectors/s  ({:.2}x W256)", engine512_vps / engine256_vps);
+    if let Some(vps) = avx2_vps {
+        println!("engine avx2:  {vps:>12.0} vectors/s  ({:.2}x portable W256)", vps / engine256_vps);
+    }
+    if let Some(vps) = avx512_vps {
+        println!(
+            "engine avx512:{vps:>12.0} vectors/s  ({:.2}x portable W512, {:.2}x portable W256)",
+            vps / engine512_vps,
+            vps / engine256_vps
+        );
+    }
 
     // SCL characterization: engine-backed vs the interpreter path over
     // the same record set at the same stimulus-sample target (512 per
@@ -163,22 +205,30 @@ fn bench_engine(c: &mut Criterion) {
         .map_or(0.0, |&base_vps| ((base_vps - engine64_vps) / base_vps * 100.0).max(0.0));
     println!("telemetry off-mode overhead vs baseline: {telemetry_overhead_pct:.2}% of engine64 vps");
 
-    syndcim_bench::merge_bench_artifact(
-        &["interpreter_", "engine", "scl_", "search_", "telemetry_"],
-        &[
-            ("interpreter_vps", interp_vps),
-            ("engine64_vps", engine64_vps),
-            ("engine256_vps", engine256_vps),
-            ("engine64_over_interpreter", ratio64),
-            ("engine256_over_engine64", wide_ratio),
-            ("scl_engine_ms", scl_engine_ms),
-            ("scl_interpreter_ms", scl_interp_ms),
-            ("scl_speedup", scl_ratio),
-            ("search_cold_ms", search_cold_ms),
-            ("search_warm_ms", search_warm_ms),
-            ("telemetry_disabled_overhead_pct", telemetry_overhead_pct),
-        ],
-    );
+    let mut keys: Vec<(&str, f64)> = vec![
+        ("interpreter_vps", interp_vps),
+        ("engine64_vps", engine64_vps),
+        ("engine256_vps", engine256_vps),
+        ("engine512_vps", engine512_vps),
+        ("engine64_over_interpreter", ratio64),
+        ("engine256_over_engine64", wide_ratio),
+        ("scl_engine_ms", scl_engine_ms),
+        ("scl_interpreter_ms", scl_interp_ms),
+        ("scl_speedup", scl_ratio),
+        ("search_cold_ms", search_cold_ms),
+        ("search_warm_ms", search_warm_ms),
+        ("telemetry_disabled_overhead_pct", telemetry_overhead_pct),
+    ];
+    if let Some(vps) = avx2_vps {
+        keys.push(("engine_avx2_vps", vps));
+        keys.push(("engine_avx2_over_engine256", vps / engine256_vps));
+    }
+    if let Some(vps) = avx512_vps {
+        keys.push(("engine_avx512_vps", vps));
+        keys.push(("engine_avx512_over_engine512", vps / engine512_vps));
+        keys.push(("engine_avx512_over_engine256", vps / engine256_vps));
+    }
+    syndcim_bench::merge_bench_artifact(&["interpreter_", "engine", "scl_", "search_", "telemetry_"], &keys);
 
     assert!(
         telemetry_overhead_pct <= 2.0,
@@ -194,6 +244,23 @@ fn bench_engine(c: &mut Criterion) {
         scl_ratio >= 2.0,
         "engine-backed SCL characterization must be >= 2x the interpreter path, got {scl_ratio:.1}x"
     );
+    if let Some(vps) = avx2_vps {
+        assert!(
+            vps >= engine256_vps,
+            "AVX2 must be >= portable at equal width: {vps:.0} vs {engine256_vps:.0} vectors/s"
+        );
+    }
+    if let Some(vps) = avx512_vps {
+        assert!(
+            vps >= engine512_vps,
+            "AVX-512 must be >= portable at equal width: {vps:.0} vs {engine512_vps:.0} vectors/s"
+        );
+        let simd_ratio = vps / engine256_vps;
+        assert!(
+            simd_ratio >= 1.5,
+            "512-lane AVX-512 must deliver >= 1.5x the portable W256 vector throughput, got {simd_ratio:.2}x"
+        );
+    }
 }
 
 criterion_group!(benches, bench_engine);

@@ -7,10 +7,11 @@
 //! Every measurement drives a [`SimBackend`]. Two backends exist:
 //!
 //! * [`EvalBackend::Engine`] (default) — the compiled bit-parallel
-//!   `syndcim_engine` backend: up to 256 measurement passes evaluate
-//!   simultaneously (`u64` lane words up to 64 lanes, `[u64; 4]` wide
-//!   words beyond — `EngineSim` picks the width per chunk), and pass
-//!   chunks fan out across worker threads sharing one compiled program.
+//!   `syndcim_engine` backend: up to 512 measurement passes evaluate
+//!   simultaneously (`u64` lane words up to 64 lanes, wider portable or
+//!   ISA-native SIMD words beyond — `EngineSim` picks the word per
+//!   chunk, honoring the `SYNDCIM_SIMD` pin), and pass chunks fan out
+//!   across worker threads sharing one compiled program.
 //!   Measurement drivers use the incremental (`drive_word_at`) stimulus
 //!   path, skipping input ports whose lane word is unchanged between
 //!   cycles;
@@ -29,7 +30,7 @@
 //! tests), so a divergence between the pipelines can never go
 //! unnoticed.
 
-use syndcim_engine::{default_threads, parallel_map, EngineSim};
+use syndcim_engine::{default_threads, parallel_map, EngineSim, SimdPolicy};
 use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_power::{tops_per_mm2, tops_per_w, MacThroughput, PowerAnalyzer, PowerReport};
@@ -41,19 +42,23 @@ use crate::assemble::MacroNetlist;
 use crate::error::CoreError;
 use crate::flow::ImplementedMacro;
 
-/// Maximum lanes one engine executor carries (the wide word's 256).
+/// Maximum lanes one engine executor carries (the 512-lane word).
 const MAX_LANES: usize = EngineSim::MAX_LANES;
 
 /// Lane count for measurement chunks: 64-lane `u64` chunks while they
-/// keep every worker thread busy, the 256-lane wide word once
-/// per-thread batches saturate (one wide pass beats four narrow passes
-/// on one core, but not four narrow passes on four idle cores).
-fn chunk_lanes(passes: usize) -> usize {
+/// keep every worker thread busy, the widest word the `SYNDCIM_SIMD`
+/// policy allows once per-thread batches saturate (one wide pass beats
+/// several narrow passes on one core, but not narrow passes spread over
+/// idle cores). Capped by [`SimdPolicy::max_lanes`] so a pinned backend
+/// (e.g. `SYNDCIM_SIMD=avx2`, a 256-lane word) never receives a chunk
+/// its word cannot carry — worker-thread construction must not fail.
+pub(crate) fn chunk_lanes(passes: usize) -> usize {
     let threads = default_threads(passes.div_ceil(64));
     if passes <= 64 * threads {
         64
     } else {
-        MAX_LANES
+        let cap = SimdPolicy::from_env().map(SimdPolicy::max_lanes).unwrap_or(MAX_LANES);
+        MAX_LANES.min(cap)
     }
 }
 
@@ -244,10 +249,13 @@ pub(crate) fn int_activity(
         }
         EvalBackend::Engine => {
             telemetry::span!("eval.int.engine");
+            // Surface a bad SYNDCIM_SIMD as a typed error before any
+            // worker thread constructs an executor.
+            SimdPolicy::from_env()?;
             let prog = &im.compiled.program;
             let chunks: Vec<&[Vec<i64>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = EngineSim::new(prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::try_new(prog, &mac.module, chunk.len())?;
                 setup_int(&mut sim, mac, pa, weights);
                 run_pass_lanes(&mut sim, mac, pa, chunk);
                 let checked = check_channels(&sim, mac, pa, pa, chunk, &golden)?;
@@ -383,10 +391,11 @@ pub fn measure_fp_with(
             merge_activities(mac, results)?
         }
         EvalBackend::Engine => {
+            SimdPolicy::from_env()?;
             let prog = &im.compiled.program;
             let chunks: Vec<&[Vec<FpValue>]> = passes.chunks(chunk_lanes(passes.len())).collect();
             let results = parallel_map(chunks, |_, chunk| -> Result<Activity, CoreError> {
-                let mut sim = EngineSim::new(prog, &mac.module, chunk.len());
+                let mut sim = EngineSim::try_new(prog, &mac.module, chunk.len())?;
                 setup_fp(&mut sim, mac, pw, &aligned_w);
                 run_chunk(&mut sim, chunk)
             });
@@ -494,7 +503,7 @@ pub fn measure_weight_update_patterns(
             acts
         }
         EvalBackend::Engine => {
-            let mut sim = EngineSim::new(&im.compiled.program, &mac.module, patterns);
+            let mut sim = EngineSim::try_new(&im.compiled.program, &mac.module, patterns)?;
             sim.enable_lane_toggles();
             run_weight_update_lanes(&mut sim, mac, seed, patterns)?
         }

@@ -137,7 +137,7 @@ pub fn measure_weight_update_coverage(
         plan.push(Fault { net, lane: i + 1, kind });
     }
 
-    let mut sim = EngineSim::new(&im.compiled.program, &mac.module, lanes);
+    let mut sim = EngineSim::try_new(&im.compiled.program, &mac.module, lanes)?;
     sim.enable_lane_toggles();
     configure_precision(&mut sim, mac, mac.w_bits);
     quiesce(&mut sim, mac);

@@ -3,17 +3,26 @@
 //! [`BatchExec`] is generic over its [`LaneWord`]: every slot holds one
 //! word whose lane `l` is the logic value of one independent test
 //! vector. [`BatchSim`] (`u64`, 64 lanes) is the classic single-register
-//! hot path; [`BatchSim256`] (`[u64; 4]`, 256 lanes) quadruples the
-//! vectors per pass on straight-line element-wise code that LLVM lowers
-//! to the target's vector unit. [`EngineSim`] picks the narrowest word
-//! that fits a requested lane count, so callers never pay the wide word
-//! for small batches.
+//! hot path; [`BatchSim256`] (`[u64; 4]`, 256 lanes) and
+//! [`BatchSim512`] (`[u64; 8]`, 512 lanes) multiply the vectors per
+//! pass on straight-line element-wise code that LLVM lowers to the
+//! target's vector unit; the ISA-native words in the arch-gated
+//! `crate::word::x86_64` / `crate::word::aarch64` modules run the same
+//! generic passes on explicit AVX2/AVX-512/NEON intrinsics.
+//! [`EngineSim`] picks the word at run time — narrowest width that
+//! fits the lane count, widest detected ISA for that width (overridable
+//! with `SYNDCIM_SIMD`, see [`crate::SimdPolicy`]) — so callers never
+//! pay the wide word for small batches and never select a data path the
+//! CPU lacks.
 //!
 //! A settle is one linear pass over the op stream — no hash maps, no
 //! per-cell dispatch through `Vec<bool>` buffers — and per-net toggles
 //! accumulate as `popcount((prev ^ next) & lane_mask)`, which makes an
 //! L-lane run report exactly the toggle totals of L separate interpreter
-//! runs over the same per-lane stimulus, at any word width.
+//! runs over the same per-lane stimulus, at any word width. Each pass
+//! runs inside one [`LaneWord::dispatch`] call, so an ISA word pays one
+//! runtime dispatch per settle (never per op) and its intrinsic leaf
+//! functions inline into the pass.
 
 use syndcim_netlist::{InstId, Module, NetId};
 use syndcim_pdk::SeqUpdate;
@@ -22,7 +31,12 @@ use syndcim_telemetry as telemetry;
 
 use crate::fault::{EngineError, FaultKind, FaultPlan};
 use crate::program::{Op, Program};
-use crate::word::{LaneWord, W256};
+use crate::simd::{SimdBackend, SimdPolicy};
+#[cfg(target_arch = "aarch64")]
+use crate::word::aarch64::W256Neon;
+#[cfg(target_arch = "x86_64")]
+use crate::word::x86_64::{W256Avx2, W512Avx512};
+use crate::word::{LaneWord, W256, W512};
 
 /// Compiled form of an installed [`FaultPlan`]: dense per-net-slot
 /// lane-mask tables consulted by every store in [`BatchExec::write`].
@@ -88,6 +102,9 @@ pub type BatchSim<'a> = BatchExec<'a, u64>;
 
 /// The 256-lane wide-word executor (`[u64; 4]` per slot).
 pub type BatchSim256<'a> = BatchExec<'a, W256>;
+
+/// The 512-lane wide-word executor (`[u64; 8]` per slot).
+pub type BatchSim512<'a> = BatchExec<'a, W512>;
 
 impl<'a, W: LaneWord> BatchExec<'a, W> {
     /// Create an executor with `lanes` active lanes (`1..=W::LANES`).
@@ -184,7 +201,13 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
         Some((0..self.prog.net_count).map(|n| lt[n * self.lanes + lane]).collect())
     }
 
-    #[inline]
+    /// The single slot-write choke point: fault masks, aggregate and
+    /// per-lane toggle accounting all hang here, width-generically.
+    /// `inline(always)` is load-bearing: every settle/commit op funnels
+    /// through this function, and it must land inside the
+    /// `#[target_feature]` dispatch frame — outlined, it compiles
+    /// without the ISA features and every op pays a vector-ABI call.
+    #[inline(always)]
     fn write(&mut self, dst: u32, mut val: W) {
         let d = dst as usize;
         if d < self.prog.net_count {
@@ -272,11 +295,14 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
         self.faults.is_some()
     }
 
-    /// Per-lane compare of `net` against a designated golden lane: one
-    /// 64-bit chunk per lane word, bit `l % 64` of chunk `l / 64` set
-    /// iff lane `l` disagrees with `golden_lane`. Inactive lanes (and
-    /// the golden lane itself) read as matching. Errors if
-    /// `golden_lane` is not an active lane.
+    /// Per-lane compare of `net` against a designated golden lane:
+    /// `ceil(lanes / 64)` 64-bit chunks, bit `l % 64` of chunk `l / 64`
+    /// set iff lane `l` disagrees with `golden_lane`. The chunk count
+    /// follows the *active lane count*, not the backing word width, so
+    /// the result is identical across SIMD backends (a pinned AVX-512
+    /// word running 256 lanes reports 4 chunks, like the portable
+    /// word). Inactive lanes (and the golden lane itself) read as
+    /// matching. Errors if `golden_lane` is not an active lane.
     pub fn mismatch_mask(&self, net: NetId, golden_lane: usize) -> Result<Vec<u64>, EngineError> {
         if golden_lane >= self.lanes {
             return Err(EngineError::LaneOutOfRange { lane: golden_lane, lanes: self.lanes });
@@ -286,7 +312,7 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
         }
         let w = self.slots[net.index()];
         let golden = w.lane(golden_lane);
-        Ok((0..W::WORDS)
+        Ok((0..self.lanes.div_ceil(64))
             .map(|wi| {
                 let chunk = w.get_u64(wi);
                 (if golden { !chunk } else { chunk }) & self.mask.get_u64(wi)
@@ -348,6 +374,62 @@ impl<'a, W: LaneWord> BatchExec<'a, W> {
         let word = self.slots[net.index()].with_lane(lane, value);
         self.write(net.index() as u32, word);
     }
+
+    /// One linear pass over the levelized op stream. Runs inside
+    /// [`LaneWord::dispatch`] (see [`SimBackend::settle`]) so an ISA
+    /// word's intrinsic leaf functions inline here; keep it
+    /// `inline(always)` so the closure body actually lands in the
+    /// `#[target_feature]` trampoline.
+    #[inline(always)]
+    fn settle_pass(&mut self) {
+        for k in 0..self.prog.ops.len() {
+            let op = self.prog.ops[k];
+            let val = match op {
+                Op::Const { ones, .. } => W::splat(ones),
+                Op::Copy { a, .. } => self.slots[a as usize],
+                Op::Not { a, .. } => self.slots[a as usize].not(),
+                Op::And { a, b, .. } => self.slots[a as usize].and(self.slots[b as usize]),
+                Op::Or { a, b, .. } => self.slots[a as usize].or(self.slots[b as usize]),
+                Op::Xor { a, b, .. } => self.slots[a as usize].xor(self.slots[b as usize]),
+                Op::Mux { d0, d1, s, .. } => {
+                    W::mux(self.slots[d0 as usize], self.slots[d1 as usize], self.slots[s as usize])
+                }
+            };
+            let dst = match op {
+                Op::Const { dst, .. }
+                | Op::Copy { dst, .. }
+                | Op::Not { dst, .. }
+                | Op::And { dst, .. }
+                | Op::Or { dst, .. }
+                | Op::Xor { dst, .. }
+                | Op::Mux { dst, .. } => dst,
+            };
+            self.write(dst, val);
+        }
+    }
+
+    /// Capture every next state from pre-edge values, then commit
+    /// states and q nets — the sequential half of [`SimBackend::step`].
+    /// Runs inside [`LaneWord::dispatch`] like [`BatchExec::settle_pass`].
+    #[inline(always)]
+    fn capture_commit_pass(&mut self) {
+        for (i, c) in self.prog.commits.iter().enumerate() {
+            let cur = self.state[i];
+            self.next[i] = match c.update {
+                SeqUpdate::Edge => self.slots[c.in0 as usize],
+                SeqUpdate::EdgeEnable => W::mux(cur, self.slots[c.in0 as usize], self.slots[c.in1 as usize]),
+                SeqUpdate::BitcellWrite => {
+                    W::mux(cur, self.slots[c.in1 as usize], self.slots[c.in0 as usize])
+                }
+            };
+        }
+        for i in 0..self.prog.commits.len() {
+            let nv = self.next[i];
+            let q = self.prog.commits[i].q;
+            self.state[i] = nv;
+            self.write(q, nv);
+        }
+    }
 }
 
 impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
@@ -382,54 +464,16 @@ impl<W: LaneWord> SimBackend for BatchExec<'_, W> {
     fn settle(&mut self) {
         self.ctr_settles.incr();
         self.ctr_ops.add(self.prog.ops.len() as u64);
-        // One linear pass over the levelized op stream.
-        for k in 0..self.prog.ops.len() {
-            let op = self.prog.ops[k];
-            let val = match op {
-                Op::Const { ones, .. } => W::splat(ones),
-                Op::Copy { a, .. } => self.slots[a as usize],
-                Op::Not { a, .. } => self.slots[a as usize].not(),
-                Op::And { a, b, .. } => self.slots[a as usize].and(self.slots[b as usize]),
-                Op::Or { a, b, .. } => self.slots[a as usize].or(self.slots[b as usize]),
-                Op::Xor { a, b, .. } => self.slots[a as usize].xor(self.slots[b as usize]),
-                Op::Mux { d0, d1, s, .. } => {
-                    W::mux(self.slots[d0 as usize], self.slots[d1 as usize], self.slots[s as usize])
-                }
-            };
-            let dst = match op {
-                Op::Const { dst, .. }
-                | Op::Copy { dst, .. }
-                | Op::Not { dst, .. }
-                | Op::And { dst, .. }
-                | Op::Or { dst, .. }
-                | Op::Xor { dst, .. }
-                | Op::Mux { dst, .. } => dst,
-            };
-            self.write(dst, val);
-        }
+        // One runtime dispatch for the whole pass: the closure compiles
+        // inside the word's `#[target_feature]` trampoline (identity
+        // for portable words).
+        W::dispatch(|| self.settle_pass());
     }
 
     fn step(&mut self) {
         self.advance_fault_cycle();
         self.settle();
-        // Capture: every next state from pre-edge values.
-        for (i, c) in self.prog.commits.iter().enumerate() {
-            let cur = self.state[i];
-            self.next[i] = match c.update {
-                SeqUpdate::Edge => self.slots[c.in0 as usize],
-                SeqUpdate::EdgeEnable => W::mux(cur, self.slots[c.in0 as usize], self.slots[c.in1 as usize]),
-                SeqUpdate::BitcellWrite => {
-                    W::mux(cur, self.slots[c.in1 as usize], self.slots[c.in0 as usize])
-                }
-            };
-        }
-        // Commit: update states and q nets.
-        for i in 0..self.prog.commits.len() {
-            let nv = self.next[i];
-            let q = self.prog.commits[i].q;
-            self.state[i] = nv;
-            self.write(q, nv);
-        }
+        W::dispatch(|| self.capture_commit_pass());
         self.lane_cycles += self.lanes as u64;
         self.settle();
     }
@@ -491,9 +535,16 @@ impl<W: LaneWord> Drop for BatchExec<'_, W> {
     }
 }
 
-/// Width-selecting engine executor: [`BatchSim`] (`u64`) for up to 64
-/// lanes, [`BatchSim256`] (`[u64; 4]`) beyond — one type for callers
-/// that size their batches at run time.
+/// Width- and ISA-selecting engine executor: [`BatchSim`] (`u64`) for
+/// up to 64 lanes, then the narrowest wide word that fits — on the
+/// widest vector ISA the CPU supports ([`SimdPolicy::select`]). One
+/// type for callers that size their batches at run time.
+///
+/// Set `SYNDCIM_SIMD=portable|avx2|avx512|neon|auto` to pin the data
+/// path; invalid or unsupported values are typed errors from
+/// [`EngineSim::try_new`] (and panics from [`EngineSim::new`]), never a
+/// silent fallback. Every construction records the selected backend on
+/// the `engine.simd_backend` telemetry gauge.
 ///
 /// ```
 /// use syndcim_engine::{EngineSim, Program};
@@ -510,9 +561,11 @@ impl<W: LaneWord> Drop for BatchExec<'_, W> {
 /// let m = b.finish();
 /// let prog = Program::compile(&m, &lib)?;
 ///
-/// // 100 lanes does not fit a u64, so the wide word is selected.
+/// // 100 lanes does not fit a u64, so a 256-lane word is selected —
+/// // AVX2/NEON if the CPU has it, portable [u64; 4] otherwise.
 /// let mut sim = EngineSim::new(&prog, &m, 100);
-/// assert!(matches!(sim, EngineSim::Wide(_)));
+/// assert_eq!(sim.lanes(), 100);
+/// assert_eq!(sim.word_lanes(), 256);
 /// let a_net = m.port("a").unwrap().net;
 /// sim.poke_word_at(a_net, 0, !0); // drive lanes 0..64 high
 /// sim.settle();
@@ -525,94 +578,19 @@ impl<W: LaneWord> Drop for BatchExec<'_, W> {
 pub enum EngineSim<'a> {
     /// `u64` lane word, 1..=64 lanes.
     Narrow(BatchSim<'a>),
-    /// `[u64; 4]` lane word, 65..=256 lanes.
+    /// Portable `[u64; 4]` lane word, 65..=256 lanes.
     Wide(BatchSim256<'a>),
-}
-
-impl<'a> EngineSim<'a> {
-    /// Most lanes one executor carries (the wide word's capacity).
-    pub const MAX_LANES: usize = W256::LANES;
-
-    /// Create an executor for `lanes` lanes on the narrowest lane word
-    /// that fits.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lanes` is zero or exceeds [`EngineSim::MAX_LANES`],
-    /// or on a program/module shape mismatch.
-    pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
-        if lanes <= u64::LANES {
-            EngineSim::Narrow(BatchExec::new(prog, module, lanes))
-        } else {
-            EngineSim::Wide(BatchExec::new(prog, module, lanes))
-        }
-    }
-
-    /// Force the wide (`[u64; 4]`) word even for small lane counts —
-    /// the knob the differential tests and benches use to compare
-    /// widths on identical stimulus.
-    pub fn new_wide(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
-        EngineSim::Wide(BatchExec::new(prog, module, lanes))
-    }
-
-    /// Shrink the active lane set (see [`BatchExec::set_lanes`]).
-    pub fn set_lanes(&mut self, lanes: usize) -> Result<(), EngineError> {
-        match self {
-            EngineSim::Narrow(s) => s.set_lanes(lanes),
-            EngineSim::Wide(s) => s.set_lanes(lanes),
-        }
-    }
-
-    /// Start per-lane toggle accounting (see
-    /// [`BatchExec::enable_lane_toggles`]).
-    pub fn enable_lane_toggles(&mut self) {
-        match self {
-            EngineSim::Narrow(s) => s.enable_lane_toggles(),
-            EngineSim::Wide(s) => s.enable_lane_toggles(),
-        }
-    }
-
-    /// Per-net toggle counts of one lane (see
-    /// [`BatchExec::lane_toggle_table`]).
-    pub fn lane_toggle_table(&self, lane: usize) -> Option<Vec<u64>> {
-        match self {
-            EngineSim::Narrow(s) => s.lane_toggle_table(lane),
-            EngineSim::Wide(s) => s.lane_toggle_table(lane),
-        }
-    }
-
-    /// Install a per-lane fault plan (see [`BatchExec::install_faults`]).
-    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), EngineError> {
-        match self {
-            EngineSim::Narrow(s) => s.install_faults(plan),
-            EngineSim::Wide(s) => s.install_faults(plan),
-        }
-    }
-
-    /// Remove the installed fault plan (see [`BatchExec::clear_faults`]).
-    pub fn clear_faults(&mut self) {
-        match self {
-            EngineSim::Narrow(s) => s.clear_faults(),
-            EngineSim::Wide(s) => s.clear_faults(),
-        }
-    }
-
-    /// Whether a non-empty fault plan is installed.
-    pub fn faults_installed(&self) -> bool {
-        match self {
-            EngineSim::Narrow(s) => s.faults_installed(),
-            EngineSim::Wide(s) => s.faults_installed(),
-        }
-    }
-
-    /// Per-lane compare against a golden lane (see
-    /// [`BatchExec::mismatch_mask`]).
-    pub fn mismatch_mask(&self, net: NetId, golden_lane: usize) -> Result<Vec<u64>, EngineError> {
-        match self {
-            EngineSim::Narrow(s) => s.mismatch_mask(net, golden_lane),
-            EngineSim::Wide(s) => s.mismatch_mask(net, golden_lane),
-        }
-    }
+    /// Portable `[u64; 8]` lane word, 257..=512 lanes.
+    Wide512(BatchSim512<'a>),
+    /// AVX2 `__m256i` lane word, 65..=256 lanes.
+    #[cfg(target_arch = "x86_64")]
+    Avx2(BatchExec<'a, W256Avx2>),
+    /// AVX-512 `__m512i` lane word, 65..=512 lanes.
+    #[cfg(target_arch = "x86_64")]
+    Avx512(BatchExec<'a, W512Avx512>),
+    /// NEON `uint64x2_t` lane word, 65..=256 lanes.
+    #[cfg(target_arch = "aarch64")]
+    Neon(BatchExec<'a, W256Neon>),
 }
 
 macro_rules! delegate {
@@ -620,8 +598,190 @@ macro_rules! delegate {
         match $self {
             EngineSim::Narrow($sim) => $body,
             EngineSim::Wide($sim) => $body,
+            EngineSim::Wide512($sim) => $body,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx2($sim) => $body,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx512($sim) => $body,
+            #[cfg(target_arch = "aarch64")]
+            EngineSim::Neon($sim) => $body,
         }
     };
+}
+
+impl<'a> EngineSim<'a> {
+    /// Most lanes one executor carries (the 512-lane word's capacity).
+    pub const MAX_LANES: usize = W512::LANES;
+
+    /// Create an executor for `lanes` lanes on the narrowest lane word
+    /// that fits, using the widest vector ISA the `SYNDCIM_SIMD` policy
+    /// allows and the CPU supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds what the policy carries
+    /// ([`EngineSim::MAX_LANES`] under `auto`), if `SYNDCIM_SIMD` is
+    /// invalid or unsupported on this CPU, or on a program/module shape
+    /// mismatch. Flows that want these as values call
+    /// [`EngineSim::try_new`] (and validate the policy once up front
+    /// with [`SimdPolicy::from_env`]).
+    pub fn new(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
+        Self::try_new(prog, module, lanes).unwrap_or_else(|e| panic!("engine SIMD selection failed: {e}"))
+    }
+
+    /// [`EngineSim::new`] with the selection errors surfaced: consults
+    /// `SYNDCIM_SIMD` ([`SimdPolicy::from_env`]), resolves the backend
+    /// for `lanes` ([`SimdPolicy::select`]) and constructs on it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SimdUnknown`] / [`EngineError::SimdUnsupported`]
+    /// for a bad `SYNDCIM_SIMD` value, [`EngineError::SimdLaneCap`]
+    /// when `lanes` exceeds the policy's widest word, and
+    /// [`EngineError::ZeroLanes`] for an empty lane set.
+    pub fn try_new(prog: &'a Program, module: &'a Module, lanes: usize) -> Result<Self, EngineError> {
+        Self::with_policy(prog, module, lanes, SimdPolicy::from_env()?)
+    }
+
+    /// [`EngineSim::try_new`] with an explicit [`SimdPolicy`] instead
+    /// of the environment.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineSim::try_new`], minus the environment parse.
+    pub fn with_policy(
+        prog: &'a Program,
+        module: &'a Module,
+        lanes: usize,
+        policy: SimdPolicy,
+    ) -> Result<Self, EngineError> {
+        if lanes == 0 {
+            return Err(EngineError::ZeroLanes);
+        }
+        Self::with_backend(prog, module, lanes, policy.select(lanes)?)
+    }
+
+    /// Construct on an explicit [`SimdBackend`] — the knob the
+    /// differential tests and benches use to compare data paths on
+    /// identical stimulus. The portable backend still picks the
+    /// narrowest `u64`/[`W256`]/[`W512`] word that fits `lanes`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SimdUnsupported`] if this CPU cannot run
+    /// `backend`, [`EngineError::SimdLaneCap`] if `lanes` exceeds the
+    /// backend's word, [`EngineError::ZeroLanes`] for an empty lane
+    /// set.
+    pub fn with_backend(
+        prog: &'a Program,
+        module: &'a Module,
+        lanes: usize,
+        backend: SimdBackend,
+    ) -> Result<Self, EngineError> {
+        if lanes == 0 {
+            return Err(EngineError::ZeroLanes);
+        }
+        if !backend.detected() {
+            return Err(EngineError::SimdUnsupported { backend });
+        }
+        if lanes > backend.max_lanes() {
+            return Err(EngineError::SimdLaneCap { backend, lanes, max: backend.max_lanes() });
+        }
+        let sim = match backend {
+            SimdBackend::Portable => {
+                if lanes <= u64::LANES {
+                    EngineSim::Narrow(BatchExec::new(prog, module, lanes))
+                } else if lanes <= W256::LANES {
+                    EngineSim::Wide(BatchExec::new(prog, module, lanes))
+                } else {
+                    EngineSim::Wide512(BatchExec::new(prog, module, lanes))
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => EngineSim::Avx2(BatchExec::new(prog, module, lanes)),
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx512 => EngineSim::Avx512(BatchExec::new(prog, module, lanes)),
+            #[cfg(target_arch = "aarch64")]
+            SimdBackend::Neon => EngineSim::Neon(BatchExec::new(prog, module, lanes)),
+            #[allow(unreachable_patterns)]
+            _ => unreachable!("backend {backend} passed detection on an architecture without it"),
+        };
+        telemetry::gauge("engine.simd_backend").set(backend.code());
+        Ok(sim)
+    }
+
+    /// Force the portable wide (`[u64; 4]`) word even for small lane
+    /// counts — the historical knob width-comparison tests use; ISA
+    /// comparisons go through [`EngineSim::with_backend`].
+    pub fn new_wide(prog: &'a Program, module: &'a Module, lanes: usize) -> Self {
+        EngineSim::Wide(BatchExec::new(prog, module, lanes))
+    }
+
+    /// Which SIMD data path this executor runs on.
+    pub fn simd_backend(&self) -> SimdBackend {
+        match self {
+            EngineSim::Narrow(_) | EngineSim::Wide(_) | EngineSim::Wide512(_) => SimdBackend::Portable,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx2(_) => SimdBackend::Avx2,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx512(_) => SimdBackend::Avx512,
+            #[cfg(target_arch = "aarch64")]
+            EngineSim::Neon(_) => SimdBackend::Neon,
+        }
+    }
+
+    /// Lane capacity of the selected word (≥ the active lane count).
+    pub fn word_lanes(&self) -> usize {
+        match self {
+            EngineSim::Narrow(_) => u64::LANES,
+            EngineSim::Wide(_) => W256::LANES,
+            EngineSim::Wide512(_) => W512::LANES,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx2(_) => W256Avx2::LANES,
+            #[cfg(target_arch = "x86_64")]
+            EngineSim::Avx512(_) => W512Avx512::LANES,
+            #[cfg(target_arch = "aarch64")]
+            EngineSim::Neon(_) => W256Neon::LANES,
+        }
+    }
+
+    /// Shrink the active lane set (see [`BatchExec::set_lanes`]).
+    pub fn set_lanes(&mut self, lanes: usize) -> Result<(), EngineError> {
+        delegate!(self, s => s.set_lanes(lanes))
+    }
+
+    /// Start per-lane toggle accounting (see
+    /// [`BatchExec::enable_lane_toggles`]).
+    pub fn enable_lane_toggles(&mut self) {
+        delegate!(self, s => s.enable_lane_toggles())
+    }
+
+    /// Per-net toggle counts of one lane (see
+    /// [`BatchExec::lane_toggle_table`]).
+    pub fn lane_toggle_table(&self, lane: usize) -> Option<Vec<u64>> {
+        delegate!(self, s => s.lane_toggle_table(lane))
+    }
+
+    /// Install a per-lane fault plan (see [`BatchExec::install_faults`]).
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), EngineError> {
+        delegate!(self, s => s.install_faults(plan))
+    }
+
+    /// Remove the installed fault plan (see [`BatchExec::clear_faults`]).
+    pub fn clear_faults(&mut self) {
+        delegate!(self, s => s.clear_faults())
+    }
+
+    /// Whether a non-empty fault plan is installed.
+    pub fn faults_installed(&self) -> bool {
+        delegate!(self, s => s.faults_installed())
+    }
+
+    /// Per-lane compare against a golden lane (see
+    /// [`BatchExec::mismatch_mask`]).
+    pub fn mismatch_mask(&self, net: NetId, golden_lane: usize) -> Result<Vec<u64>, EngineError> {
+        delegate!(self, s => s.mismatch_mask(net, golden_lane))
+    }
 }
 
 impl SimBackend for EngineSim<'_> {

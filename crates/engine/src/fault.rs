@@ -192,6 +192,26 @@ pub enum EngineError {
     FaultPlanPinned,
     /// A lane set of zero lanes was requested.
     ZeroLanes,
+    /// `SYNDCIM_SIMD` (or [`crate::SimdPolicy::parse`]) was given a
+    /// value that names no backend.
+    SimdUnknown,
+    /// A pinned SIMD backend is not supported by this CPU (or this
+    /// architecture) — pins fail loudly instead of silently falling
+    /// back to the portable words.
+    SimdUnsupported {
+        /// The backend that was pinned.
+        backend: crate::SimdBackend,
+    },
+    /// The requested lane count exceeds what the selected SIMD policy
+    /// can carry in one executor.
+    SimdLaneCap {
+        /// The widest backend the policy allows.
+        backend: crate::SimdBackend,
+        /// Requested lane count.
+        lanes: usize,
+        /// The backend word's lane capacity.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -219,6 +239,15 @@ impl std::fmt::Display for EngineError {
                 write!(f, "cannot resize the lane set while a fault plan is installed")
             }
             EngineError::ZeroLanes => write!(f, "lane set cannot be empty"),
+            EngineError::SimdUnknown => {
+                write!(f, "unknown SYNDCIM_SIMD value (expected portable|avx2|avx512|neon|auto)")
+            }
+            EngineError::SimdUnsupported { backend } => {
+                write!(f, "SIMD backend `{backend}` is not supported by this CPU")
+            }
+            EngineError::SimdLaneCap { backend, lanes, max } => {
+                write!(f, "{lanes} lanes exceed the `{backend}` backend's {max}-lane word")
+            }
         }
     }
 }

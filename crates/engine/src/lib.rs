@@ -69,13 +69,15 @@ pub mod compile;
 pub mod exec;
 pub mod fault;
 pub mod program;
+pub mod simd;
 pub mod word;
 
-pub use exec::{BatchExec, BatchSim, BatchSim256, EngineSim};
+pub use exec::{BatchExec, BatchSim, BatchSim256, BatchSim512, EngineSim};
 pub use fault::{EngineError, Fault, FaultKind, FaultPlan};
 pub use program::Program;
+pub use simd::{SimdBackend, SimdPolicy};
 pub use syndcim_ir::{default_threads, parallel_map, parallel_map_threads, Lowering, Symbol, Symbols};
-pub use word::{LaneWord, W256};
+pub use word::{LaneWord, W256, W512};
 
 #[cfg(test)]
 mod tests {
@@ -221,8 +223,12 @@ mod tests {
             .collect();
         let in_nets: Vec<NetId> = (0..6).map(|i| m.port(&format!("in[{i}]")).unwrap().net).collect();
 
-        let mut eng = EngineSim::new(&prog, &m, lanes);
-        assert!(matches!(eng, EngineSim::Wide(_)), "151+ lanes must select the wide word");
+        // Pin the portable word: this test is about width semantics;
+        // the ISA words get the same treatment in the workspace
+        // differential suites.
+        let mut eng =
+            EngineSim::with_policy(&prog, &m, lanes, SimdPolicy::Pin(SimdBackend::Portable)).unwrap();
+        assert!(matches!(eng, EngineSim::Wide(_)), "65..=256 lanes must select the 256-lane word");
         eng.enable_lane_toggles();
         let mut snapshots: Vec<Vec<Vec<u64>>> = Vec::new(); // [cycle][net][word]
         for c in 0..cycles {
@@ -283,13 +289,102 @@ mod tests {
         b.output("y", y);
         let m = b.finish();
         let prog = Program::compile(&m, &lib).unwrap();
+        // ≤64 lanes always ride the scalar u64 word, whatever the ISA.
         assert!(matches!(EngineSim::new(&prog, &m, 64), EngineSim::Narrow(_)));
-        assert!(matches!(EngineSim::new(&prog, &m, 65), EngineSim::Wide(_)));
+        let portable = SimdPolicy::Pin(SimdBackend::Portable);
+        assert!(matches!(EngineSim::with_policy(&prog, &m, 65, portable).unwrap(), EngineSim::Wide(_)));
+        assert!(matches!(EngineSim::with_policy(&prog, &m, 257, portable).unwrap(), EngineSim::Wide512(_)));
         let narrow = EngineSim::new(&prog, &m, 64);
         let wide = EngineSim::new(&prog, &m, 65);
+        let widest = EngineSim::new(&prog, &m, 300);
         assert_eq!(narrow.words(), 1);
         assert_eq!(wide.words(), 2);
-        assert_eq!(EngineSim::MAX_LANES, 256);
+        assert_eq!(widest.words(), 5);
+        assert_eq!(narrow.simd_backend(), SimdBackend::Portable);
+        // Auto selection honours word capacity whatever the host ISA.
+        assert_eq!(wide.word_lanes(), 256);
+        assert_eq!(widest.word_lanes(), 512);
+        assert_eq!(EngineSim::MAX_LANES, 512);
+    }
+
+    /// Every backend this host supports must run the mixed circuit
+    /// bit-identically to the portable word at the same lane count —
+    /// states, aggregate toggles, lane cycles.
+    #[test]
+    fn every_detected_backend_matches_portable() {
+        let lib = CellLibrary::syn40();
+        let m = mixed_module(&lib);
+        let prog = Program::compile(&m, &lib).unwrap();
+        let in_nets: Vec<NetId> = (0..6).map(|i| m.port(&format!("in[{i}]")).unwrap().net).collect();
+        let cycles = 8;
+        for backend in [SimdBackend::Avx2, SimdBackend::Avx512, SimdBackend::Neon] {
+            if !backend.detected() {
+                continue;
+            }
+            let lanes = backend.max_lanes();
+            let mut gold = EngineSim::with_backend(&prog, &m, lanes, SimdBackend::Portable).unwrap();
+            let mut isa = EngineSim::with_backend(&prog, &m, lanes, backend).unwrap();
+            assert_eq!(isa.simd_backend(), backend);
+            let mut rng = seeded_rng(0x51D * lanes as u64);
+            for _ in 0..cycles {
+                for &net in &in_nets {
+                    for wi in 0..lanes / 64 {
+                        let word = rng.next_u64();
+                        gold.poke_word_at(net, wi, word);
+                        isa.poke_word_at(net, wi, word);
+                    }
+                }
+                gold.step();
+                isa.step();
+                for n in 0..m.net_count() {
+                    for wi in 0..lanes / 64 {
+                        assert_eq!(
+                            isa.peek_word_at(NetId(n as u32), wi),
+                            gold.peek_word_at(NetId(n as u32), wi),
+                            "{backend}: net {n} word {wi}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(isa.toggle_table(), gold.toggle_table(), "{backend}: toggle tables");
+            assert_eq!(isa.lane_cycles(), gold.lane_cycles());
+        }
+    }
+
+    /// Bad `SYNDCIM_SIMD` pins are typed errors from construction, and
+    /// explicit backend requests the CPU cannot honour fail the same
+    /// way — never a silent portable fallback.
+    #[test]
+    fn simd_selection_errors_are_typed() {
+        let lib = CellLibrary::syn40();
+        let mut b = NetlistBuilder::new("inv", &lib);
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let m = b.finish();
+        let prog = Program::compile(&m, &lib).unwrap();
+        assert!(matches!(EngineSim::try_new(&prog, &m, 0), Err(EngineError::ZeroLanes)));
+        assert!(matches!(
+            EngineSim::try_new(&prog, &m, 513),
+            Err(EngineError::SimdLaneCap { lanes: 513, max: 512, .. })
+        ));
+        if SimdBackend::Avx2.detected() {
+            assert!(matches!(
+                EngineSim::with_policy(&prog, &m, 300, SimdPolicy::Pin(SimdBackend::Avx2)),
+                Err(EngineError::SimdLaneCap { lanes: 300, max: 256, .. })
+            ));
+        } else {
+            assert!(matches!(
+                EngineSim::with_backend(&prog, &m, 100, SimdBackend::Avx2),
+                Err(EngineError::SimdUnsupported { backend: SimdBackend::Avx2 })
+            ));
+        }
+        if !SimdBackend::Neon.detected() {
+            assert!(matches!(
+                EngineSim::with_backend(&prog, &m, 100, SimdBackend::Neon),
+                Err(EngineError::SimdUnsupported { backend: SimdBackend::Neon })
+            ));
+        }
     }
 
     /// The dirty-set drive path skips unchanged words without altering

@@ -2,13 +2,24 @@
 //! simulation lanes, one bit per lane.
 //!
 //! The executor ([`crate::BatchSim`]) is generic over its lane word.
-//! Two widths are provided:
+//! Portable widths are provided here:
 //!
 //! * [`u64`] — 64 lanes, the classic single-register hot path;
 //! * [`W256`] — 256 lanes as `[u64; 4]`, written as straight-line
 //!   element-wise code (no intrinsics) so LLVM lowers it to whatever
 //!   vector unit the target has (SSE2 pairs, AVX2 one register); the
 //!   idiom follows ckt-engine's wide-word module, kept portable.
+//! * [`W512`] — 512 lanes as `[u64; 8]`, the full-width register an
+//!   AVX-512 machine can fill.
+//!
+//! ISA-native words live in per-ISA submodules (`x86_64` on x86-64,
+//! `aarch64` on ARM — each compiled only on its own architecture, so
+//! neither is intra-doc-linkable from here) with every intrinsic
+//! confined to
+//! `#[target_feature]` leaf functions; [`crate::SimdBackend`] selects
+//! among them at run time. The [`LaneWord::dispatch`] hook is how a
+//! whole settle pass runs inside one `#[target_feature]` context —
+//! dispatch happens once per batch, never per op.
 //!
 //! Toggle accounting is *defined* per lane word — `popcount_accum`
 //! counts the set lanes of `(prev ^ next) & mask` — so any width
@@ -16,6 +27,31 @@
 //! lane on the `u64` backend or the interpreter. The differential tests
 //! in `syndcim-engine` and `tests/engine_differential.rs` pin that
 //! equivalence down bit by bit.
+
+#[cfg(target_arch = "aarch64")]
+pub mod aarch64;
+#[cfg(target_arch = "x86_64")]
+pub mod x86_64;
+
+/// Low-`lanes` mask as `N` 64-bit chunks — shared by every multi-chunk
+/// lane word (portable and ISA-native alike) so mask semantics cannot
+/// drift between backends.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero or exceeds `N * 64`.
+#[inline]
+pub(crate) fn mask_chunks<const N: usize>(lanes: usize) -> [u64; N] {
+    assert!((1..=N * 64).contains(&lanes), "lane count {lanes} outside 1..={}", N * 64);
+    std::array::from_fn(|i| {
+        let remaining = lanes.saturating_sub(i * 64);
+        match remaining {
+            0 => 0,
+            1..=63 => (1u64 << remaining) - 1,
+            _ => !0,
+        }
+    })
+}
 
 /// One simulation word: `LANES` independent lanes, one bit each.
 ///
@@ -69,6 +105,18 @@ pub trait LaneWord: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     ///
     /// Panics if `idx >= Self::WORDS`.
     fn set_u64(&mut self, idx: usize, word: u64);
+
+    /// Run `f` inside this word's ISA context. Portable words run it
+    /// directly; ISA-native words override this with a
+    /// `#[target_feature]`-annotated trampoline so the whole closure —
+    /// typically one settle pass over the op stream — is compiled (and
+    /// its feature-matching intrinsic leaf functions inlined) with the
+    /// word's vector ISA enabled. The executor calls this once per
+    /// batch/settle, never per op.
+    #[inline(always)]
+    fn dispatch<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
 
     /// Read one lane.
     #[inline]
@@ -153,74 +201,82 @@ impl LaneWord for u64 {
     }
 }
 
-/// 256 simulation lanes as four `u64` chunks. Aligned to 32 bytes so a
-/// slot vector lays out as clean vector registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(align(32))]
-pub struct W256(pub [u64; 4]);
+/// Generate a portable multi-chunk lane word: `[u64; N]` element-wise
+/// code with no intrinsics, aligned to its full width so a slot vector
+/// lays out as clean vector registers.
+macro_rules! portable_wide_word {
+    ($(#[$doc:meta])* $name:ident, $chunks:expr, $align:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(align($align))]
+        pub struct $name(pub [u64; $chunks]);
 
-impl LaneWord for W256 {
-    const LANES: usize = 256;
-    const WORDS: usize = 4;
+        impl LaneWord for $name {
+            const LANES: usize = $chunks * 64;
+            const WORDS: usize = $chunks;
 
-    #[inline]
-    fn splat(value: bool) -> Self {
-        W256([u64::splat(value); 4])
-    }
+            #[inline]
+            fn splat(value: bool) -> Self {
+                $name([u64::splat(value); $chunks])
+            }
 
-    #[inline]
-    fn mask(lanes: usize) -> Self {
-        assert!((1..=256).contains(&lanes), "lane count {lanes} outside 1..=256");
-        let mut m = [0u64; 4];
-        for (i, chunk) in m.iter_mut().enumerate() {
-            let remaining = lanes.saturating_sub(i * 64);
-            *chunk = match remaining {
-                0 => 0,
-                1..=63 => (1u64 << remaining) - 1,
-                _ => !0,
-            };
+            #[inline]
+            fn mask(lanes: usize) -> Self {
+                $name(mask_chunks(lanes))
+            }
+
+            #[inline]
+            fn and(self, other: Self) -> Self {
+                $name(std::array::from_fn(|i| self.0[i] & other.0[i]))
+            }
+
+            #[inline]
+            fn or(self, other: Self) -> Self {
+                $name(std::array::from_fn(|i| self.0[i] | other.0[i]))
+            }
+
+            #[inline]
+            fn xor(self, other: Self) -> Self {
+                $name(std::array::from_fn(|i| self.0[i] ^ other.0[i]))
+            }
+
+            #[inline]
+            fn not(self) -> Self {
+                $name(std::array::from_fn(|i| !self.0[i]))
+            }
+
+            #[inline]
+            fn popcount_accum(self, mask: Self, acc: &mut u64) {
+                let mut n = 0u32;
+                for i in 0..$chunks {
+                    n += (self.0[i] & mask.0[i]).count_ones();
+                }
+                *acc += n as u64;
+            }
+
+            #[inline]
+            fn get_u64(self, idx: usize) -> u64 {
+                self.0[idx]
+            }
+
+            #[inline]
+            fn set_u64(&mut self, idx: usize, word: u64) {
+                self.0[idx] = word;
+            }
         }
-        W256(m)
-    }
+    };
+}
 
-    #[inline]
-    fn and(self, other: Self) -> Self {
-        W256(std::array::from_fn(|i| self.0[i] & other.0[i]))
-    }
+portable_wide_word! {
+    /// 256 simulation lanes as four `u64` chunks. Aligned to 32 bytes so
+    /// a slot vector lays out as clean vector registers.
+    W256, 4, 32
+}
 
-    #[inline]
-    fn or(self, other: Self) -> Self {
-        W256(std::array::from_fn(|i| self.0[i] | other.0[i]))
-    }
-
-    #[inline]
-    fn xor(self, other: Self) -> Self {
-        W256(std::array::from_fn(|i| self.0[i] ^ other.0[i]))
-    }
-
-    #[inline]
-    fn not(self) -> Self {
-        W256(std::array::from_fn(|i| !self.0[i]))
-    }
-
-    #[inline]
-    fn popcount_accum(self, mask: Self, acc: &mut u64) {
-        let mut n = 0u32;
-        for i in 0..4 {
-            n += (self.0[i] & mask.0[i]).count_ones();
-        }
-        *acc += n as u64;
-    }
-
-    #[inline]
-    fn get_u64(self, idx: usize) -> u64 {
-        self.0[idx]
-    }
-
-    #[inline]
-    fn set_u64(&mut self, idx: usize, word: u64) {
-        self.0[idx] = word;
-    }
+portable_wide_word! {
+    /// 512 simulation lanes as eight `u64` chunks. Aligned to 64 bytes —
+    /// one full AVX-512 register (or a cache line) per slot.
+    W512, 8, 64
 }
 
 #[cfg(test)]
@@ -246,6 +302,15 @@ mod tests {
     }
 
     #[test]
+    fn w512_mask_spans_chunk_boundaries() {
+        assert_eq!(W512::mask(512), W512([!0; 8]));
+        assert_eq!(W512::mask(256), W512([!0, !0, !0, !0, 0, 0, 0, 0]));
+        assert_eq!(W512::mask(257), W512([!0, !0, !0, !0, 1, 0, 0, 0]));
+        assert_eq!(W512::mask(449), W512([!0, !0, !0, !0, !0, !0, !0, 1]));
+        assert_eq!(W512::mask(1), W512([1, 0, 0, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
     fn w256_lane_roundtrip_and_ops() {
         let mut w = W256::splat(false);
         for lane in [0usize, 63, 64, 127, 128, 200, 255] {
@@ -265,6 +330,29 @@ mod tests {
         acc = 0;
         w.popcount_accum(W256::mask(64), &mut acc);
         assert_eq!(acc, 2); // lanes 0 and 63
+    }
+
+    #[test]
+    fn w512_lane_roundtrip_and_ops() {
+        let mut w = W512::splat(false);
+        for lane in [0usize, 63, 255, 256, 448, 511] {
+            w = w.with_lane(lane, true);
+            assert!(w.lane(lane));
+        }
+        let inv = w.not();
+        for lane in [0usize, 63, 255, 256, 448, 511] {
+            assert!(!inv.lane(lane));
+        }
+        assert_eq!(w.and(inv), W512::splat(false));
+        assert_eq!(w.or(inv), W512::splat(true));
+        assert_eq!(w.xor(w), W512::splat(false));
+        let mut acc = 0;
+        w.popcount_accum(W512::mask(512), &mut acc);
+        assert_eq!(acc, 6);
+        acc = 0;
+        w.popcount_accum(W512::mask(256), &mut acc);
+        assert_eq!(acc, 3); // lanes 0, 63 and 255 survive the 256-lane mask
+        assert_eq!(std::mem::align_of::<W512>(), 64);
     }
 
     #[test]

@@ -249,6 +249,25 @@ impl<'a> PowerAnalyzer<'a> {
         }
     }
 
+    /// Per-cycle clock-pin energy per top-level group, in pJ/cycle,
+    /// including the clock-tree distribution overhead. Every group head
+    /// appears (0.0 for register-free groups); the values sum to the
+    /// clock term of `energy_per_cycle_pj`. The compiled program's
+    /// [`CompiledPower::clock_by_group_pj`](crate::CompiledPower::clock_by_group_pj)
+    /// is differentially pinned bit-identical to this walk.
+    pub fn clock_by_group_pj(&self, op: OperatingPoint) -> BTreeMap<String, f64> {
+        let escale = self.lib.process().energy_scale(op.vdd_v);
+        let mut raw: BTreeMap<String, f64> = BTreeMap::new();
+        for (idx, inst) in self.module.instances.iter().enumerate() {
+            let fj = raw.entry(self.inst_group_head(idx).to_string()).or_insert(0.0);
+            if let Some(seq) = self.lib.cell(inst.cell).seq {
+                *fj += seq.clk_energy_fj;
+            }
+        }
+        let cscale = escale * (1.0 + self.clock_tree_overhead);
+        raw.into_iter().map(|(head, fj)| (head, fj * cscale / 1000.0)).collect()
+    }
+
     fn clock_energy_fj_per_cycle(&self, escale: f64) -> f64 {
         let regs: f64 = self
             .module

@@ -3,7 +3,8 @@
 //!
 //! The section stores the [`CompiledPower`] struct-of-arrays columns
 //! verbatim — capacitance/energy columns, the instance-output CSR, the
-//! dense group-head table, port loads and the clock/leakage scalars —
+//! dense group-head table, port loads, the clock/leakage scalars and
+//! the per-head/per-node clock and leakage columns —
 //! every `f64` as its exact bit pattern, so a loaded program's
 //! `report`/`by_group_pj`/`by_path_pj` results are bit-identical to the
 //! in-memory compile (pinned by `tests/artifact_roundtrip.rs`).
@@ -35,6 +36,9 @@ pub fn encode_power(power: &CompiledPower) -> SectionWriter {
     w.put_f64(power.leakage_total_nw);
     w.put_f64(power.glitch_factor);
     w.put_f64(power.clock_tree_overhead);
+    w.put_f64s(&power.head_clock_fj);
+    w.put_f64s(&power.node_clock_fj);
+    w.put_f64s(&power.node_leakage_nw);
     w
 }
 
@@ -62,6 +66,9 @@ pub fn decode_power(r: &mut SectionReader<'_>, symbols: &Symbols) -> Result<Comp
     let leakage_total_nw = r.get_f64("total leakage")?;
     let glitch_factor = r.get_f64("glitch factor")?;
     let clock_tree_overhead = r.get_f64("clock tree overhead")?;
+    let head_clock_fj = r.get_f64s("per-head clock energies")?;
+    let node_clock_fj = r.get_f64s("per-node clock energies")?;
+    let node_leakage_nw = r.get_f64s("per-node leakage")?;
 
     let outputs = out_slot.len();
     if out_cap_ff.len() != outputs || out_internal_fj.len() != outputs {
@@ -101,6 +108,21 @@ pub fn decode_power(r: &mut SectionReader<'_>, symbols: &Symbols) -> Result<Comp
     if in_port_load_ff.len() != in_port_slot.len() {
         return Err(r.malformed("input port column lengths disagree"));
     }
+    if head_clock_fj.len() != group_head_syms.len() {
+        return Err(r.malformed(format!(
+            "per-head clock column covers {} heads, table has {}",
+            head_clock_fj.len(),
+            group_head_syms.len()
+        )));
+    }
+    let nodes = symbols.node_count();
+    if node_clock_fj.len() != nodes || node_leakage_nw.len() != nodes {
+        return Err(r.malformed(format!(
+            "per-node clock/leakage columns cover {}/{} nodes, symbols have {nodes}",
+            node_clock_fj.len(),
+            node_leakage_nw.len()
+        )));
+    }
 
     Ok(CompiledPower {
         process,
@@ -116,6 +138,9 @@ pub fn decode_power(r: &mut SectionReader<'_>, symbols: &Symbols) -> Result<Comp
         in_port_load_ff,
         clock_regs_fj,
         leakage_total_nw,
+        head_clock_fj,
+        node_clock_fj,
+        node_leakage_nw,
         glitch_factor,
         clock_tree_overhead,
     })

@@ -107,6 +107,18 @@ pub struct CompiledPower {
     pub(crate) clock_regs_fj: f64,
     /// Total cell leakage in nW (instance order).
     pub(crate) leakage_total_nw: f64,
+    /// Raw sequential clock-pin fJ per dense group head, accumulated in
+    /// instance order — the numerator of
+    /// [`CompiledPower::clock_by_group_pj`]. Indexed like
+    /// `group_head_syms`.
+    pub(crate) head_clock_fj: Vec<f64>,
+    /// Raw sequential clock-pin fJ per group-path node (instance
+    /// order): each register's clock pin attributed to its own
+    /// subcircuit, rolled up by [`CompiledPower::by_path_pj`].
+    pub(crate) node_clock_fj: Vec<f64>,
+    /// Raw cell leakage in nW per group-path node (instance order),
+    /// behind [`CompiledPower::leakage_by_path_uw`].
+    pub(crate) node_leakage_nw: Vec<f64>,
     pub(crate) glitch_factor: f64,
     pub(crate) clock_tree_overhead: f64,
 }
@@ -136,6 +148,9 @@ impl<'a> PowerAnalyzer<'a> {
         // keying by name.
         let mut group_head_syms: Vec<Symbol> = Vec::new();
         let mut head_index: HashMap<Symbol, u32> = HashMap::new();
+        let mut head_clock_fj: Vec<f64> = Vec::new();
+        let mut node_clock_fj = vec![0.0f64; syms.node_count()];
+        let mut node_leakage_nw = vec![0.0f64; syms.node_count()];
 
         for inst in module.instances.iter() {
             for &net in &inst.outputs {
@@ -147,9 +162,17 @@ impl<'a> PowerAnalyzer<'a> {
             let head = syms.group_head_sym(inst.group.0);
             let g = *head_index.entry(head).or_insert_with(|| {
                 group_head_syms.push(head);
+                head_clock_fj.push(0.0);
                 group_head_syms.len() as u32 - 1
             });
             inst_group.push(g);
+            let cell = self.lib.cell(inst.cell);
+            let node = syms.group_node(inst.group.0) as usize;
+            node_leakage_nw[node] += cell.leakage_nw;
+            if let Some(seq) = cell.seq {
+                head_clock_fj[g as usize] += seq.clk_energy_fj;
+                node_clock_fj[node] += seq.clk_energy_fj;
+            }
         }
 
         let in_port_slot: Vec<u32> = module.input_ports().map(|p| p.net.index() as u32).collect();
@@ -173,6 +196,9 @@ impl<'a> PowerAnalyzer<'a> {
             in_port_load_ff,
             clock_regs_fj,
             leakage_total_nw,
+            head_clock_fj,
+            node_clock_fj,
+            node_leakage_nw,
             glitch_factor: self.glitch_factor,
             clock_tree_overhead: self.clock_tree_overhead,
         };
@@ -212,7 +238,12 @@ impl CompiledPower {
     pub fn retained_bytes(&self) -> usize {
         let u32s =
             self.out_slot.len() + self.inst_out_start.len() + self.inst_group.len() + self.in_port_slot.len();
-        let f64s = self.out_cap_ff.len() + self.out_internal_fj.len() + self.in_port_load_ff.len();
+        let f64s = self.out_cap_ff.len()
+            + self.out_internal_fj.len()
+            + self.in_port_load_ff.len()
+            + self.head_clock_fj.len()
+            + self.node_clock_fj.len()
+            + self.node_leakage_nw.len();
         u32s * std::mem::size_of::<u32>()
             + f64s * std::mem::size_of::<f64>()
             + self.group_head_syms.len() * std::mem::size_of::<Symbol>()
@@ -331,12 +362,16 @@ impl CompiledPower {
         PowerReport { dynamic_uw, clock_uw, leakage_uw, energy_per_cycle_pj, freq_mhz, by_group_pj }
     }
 
-    /// Hierarchical drill-down of the dynamic switching energy: one
+    /// Hierarchical drill-down of the per-cycle dynamic energy: one
     /// entry per full group path (e.g. `"regs"` *and* `"regs/bank0"`),
-    /// in pJ/cycle, where every node **includes its descendants** — so
-    /// a root entry equals the corresponding [`PowerReport::by_group_pj`]
-    /// head total (up to floating-point accumulation order) and
-    /// drilling one level deeper splits it by subcircuit.
+    /// in pJ/cycle, where every node **includes its descendants**.
+    /// Each node carries its instances' switching energy plus the
+    /// clock-pin energy of its registers (with the clock-tree overhead),
+    /// so a root entry equals the corresponding
+    /// [`PowerReport::by_group_pj`] head total *plus* the head's
+    /// [`CompiledPower::clock_by_group_pj`] share (up to floating-point
+    /// accumulation order), and drilling one level deeper splits both
+    /// by subcircuit.
     ///
     /// Top-level aggregation semantics are untouched: `report*` still
     /// produce the seed-pinned `by_group_pj`; this accessor is the new
@@ -362,8 +397,49 @@ impl CompiledPower {
             }
             by_path[node as usize] += inst_fj * self.glitch_factor / 1000.0;
         }
+        // Clock-pin energy lands at each register's own subcircuit node
+        // (the clock tree serves the whole hierarchy, so its overhead
+        // is applied uniformly, exactly as in the head-level totals).
+        let cscale = escale * (1.0 + self.clock_tree_overhead);
+        for (node, &fj) in self.node_clock_fj.iter().enumerate() {
+            by_path[node] += fj * cscale / 1000.0;
+        }
         // Parent node ids precede their children's by construction:
         // one reverse pass rolls every subtree up into its ancestors.
+        for i in (0..by_path.len()).rev() {
+            if let Some(parent) = self.syms.node_parent(i as u32) {
+                let v = by_path[i];
+                by_path[parent as usize] += v;
+            }
+        }
+        (0..self.syms.node_count() as u32)
+            .map(|n| (self.syms.node_name(n).to_string(), by_path[n as usize]))
+            .collect()
+    }
+
+    /// Per-cycle clock-pin energy per top-level group, in pJ/cycle,
+    /// including the clock-tree distribution overhead. Every head of
+    /// [`PowerReport::by_group_pj`] appears (0.0 for register-free
+    /// groups), and the values sum to the clock term of
+    /// `energy_per_cycle_pj` — bit-identical to
+    /// [`PowerAnalyzer::clock_by_group_pj`].
+    pub fn clock_by_group_pj(&self, op: OperatingPoint) -> BTreeMap<String, f64> {
+        let cscale = self.process.energy_scale(op.vdd_v) * (1.0 + self.clock_tree_overhead);
+        self.group_head_syms
+            .iter()
+            .zip(&self.head_clock_fj)
+            .map(|(&s, &fj)| (self.syms.resolve(s).to_string(), fj * cscale / 1000.0))
+            .collect()
+    }
+
+    /// Hierarchical drill-down of leakage power at a corner: one entry
+    /// per full group path in µW, every node including its descendants
+    /// — the leakage analogue of [`CompiledPower::by_path_pj`]. The
+    /// root entries sum to [`CompiledPower::leakage_uw`] (up to
+    /// floating-point accumulation order).
+    pub fn leakage_by_path_uw(&self, op: OperatingPoint) -> BTreeMap<String, f64> {
+        let scale = self.process.leakage_scale(op.vdd_v, op.temp_c);
+        let mut by_path: Vec<f64> = self.node_leakage_nw.iter().map(|&nw| nw * scale / 1000.0).collect();
         for i in (0..by_path.len()).rev() {
             if let Some(parent) = self.syms.node_parent(i as u32) {
                 let v = by_path[i];
@@ -473,15 +549,49 @@ mod tests {
         for key in ["top", "datapath", "regs", "regs/bank0"] {
             assert!(by_path.contains_key(key), "missing path `{key}`: {by_path:?}");
         }
-        // Root entries equal the seed-pinned head totals (modulo
-        // accumulation order).
+        // Root entries equal the seed-pinned head totals plus the
+        // head's clock-pin share (modulo accumulation order).
+        let clock = cp.clock_by_group_pj(op);
         for (head, &pj) in &by_group {
             let root = by_path[head];
-            assert!((root - pj).abs() <= 1e-12 * pj.abs().max(1.0), "{head}: {root} vs {pj}");
+            let want = pj + clock[head];
+            assert!((root - want).abs() <= 1e-12 * want.abs().max(1.0), "{head}: {root} vs {want}");
         }
+        // The dff lives under `regs/bank0`; the register-free
+        // `datapath` carries no clock energy.
+        assert!(clock["regs"] > 0.0);
+        assert_eq!(clock["datapath"], 0.0);
         // `regs` has no direct instances, so its rollup equals its only
-        // child exactly.
+        // child exactly — clock-pin energy included.
         assert_eq!(by_path["regs"], by_path["regs/bank0"]);
+        assert!(by_path["regs/bank0"] > by_group["regs"], "the drill-down includes the dff's clock pin");
+    }
+
+    #[test]
+    fn clock_and_leakage_breakdowns_match_reference_and_totals() {
+        let (m, lib) = toggler();
+        let pa = PowerAnalyzer::new(&m, &lib).unwrap();
+        let cp = pa.compile();
+        for v in [0.6, 0.9, 1.2] {
+            let op = OperatingPoint::at_voltage(v);
+            // Head-level clock shares: bit-identical to the reference
+            // walk, summing to the clock term of the report.
+            let clock = cp.clock_by_group_pj(op);
+            assert_eq!(clock, pa.clock_by_group_pj(op), "clock breakdown at {v} V");
+            let report = cp.report(&vec![0u64; m.net_count()], 10, 800.0, op);
+            let clock_pj: f64 = clock.values().sum();
+            assert!(
+                (clock_pj - report.energy_per_cycle_pj).abs() <= 1e-12 * report.energy_per_cycle_pj,
+                "idle energy/cycle is all clock: {clock_pj} vs {}",
+                report.energy_per_cycle_pj
+            );
+            // Leakage drill-down: roots sum to the corner's leakage.
+            let by_path = cp.leakage_by_path_uw(op);
+            let roots: f64 = by_path.iter().filter(|(p, _)| !p.contains('/')).map(|(_, &uw)| uw).sum();
+            let want = cp.leakage_uw(op);
+            assert!((roots - want).abs() <= 1e-12 * want, "leakage roots {roots} vs total {want} at {v} V");
+            assert_eq!(by_path["regs"], by_path["regs/bank0"], "leakage rolls up through the path tree");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use rand::Rng;
 use syndcim_core::{assemble, DesignChoice, MacroSpec};
-use syndcim_engine::{BatchSim, EngineSim, Lowering, Program};
+use syndcim_engine::{BatchSim, EngineSim, Lowering, Program, SimdBackend};
 use syndcim_netlist::NetId;
 use syndcim_sim::golden::{bit_serial_schedule, twos_complement_bit, DcimChannelTrace};
 use syndcim_sim::vectors::{random_ints, seeded_rng};
@@ -191,6 +191,127 @@ fn wide_backend_matches_u64_backend_and_interpreter_on_paper_test_chip() {
                     "lane {l} cycle {c}: net `{}` diverges from the interpreter",
                     module.nets[n].name
                 );
+            }
+        }
+    }
+}
+
+/// Word-seam differential at the SIMD widths: every backend this host
+/// can run (portable `[u64; N]`, AVX2, AVX-512, NEON) must produce
+/// bit-identical per-net state snapshots and toggle tables on the paper
+/// test chip, at 256 and at 512 lanes. The portable run is additionally
+/// re-chunked onto the `u64` backend (chunk toggle tables summing to
+/// the wide table), and in the 512-lane arm the lanes at every `u64`
+/// seam of the 512-lane word — 255/256/448/511 and friends — are re-run
+/// on the interpreter, closing `isa == portable == u64 == interpreter`
+/// exactly at the seams.
+#[test]
+fn simd_backends_agree_at_every_word_seam() {
+    let lib = syndcim_pdk::CellLibrary::syn40();
+    let spec = MacroSpec::paper_test_chip();
+    let mac = assemble(&lib, &spec, &DesignChoice::default());
+    let module = &mac.module;
+    let low = Lowering::validated(module, &lib).unwrap();
+    let prog = Program::from_lowering(&low, module, &lib);
+    let in_nets: Vec<NetId> = module.input_ports().map(|p| p.net).collect();
+    let cycles = 6usize;
+
+    for lanes in [256usize, 512] {
+        let words = lanes / 64;
+        // stimulus[lane][cycle][port] — derived from per-lane seeds.
+        let stimulus: Vec<Vec<Vec<bool>>> = (0..lanes)
+            .map(|l| {
+                let mut rng = seeded_rng(0x5EA0 + l as u64);
+                (0..cycles).map(|_| in_nets.iter().map(|_| rng.gen_bool(0.5)).collect()).collect()
+            })
+            .collect();
+        let word_of = |c: usize, pi: usize, wi: usize| -> u64 {
+            let mut word = 0u64;
+            for (l, stim) in stimulus.iter().enumerate().skip(wi * 64).take(64) {
+                word |= (stim[c][pi] as u64) << (l - wi * 64);
+            }
+            word
+        };
+
+        // One full run on a chosen backend: per-cycle snapshots of every
+        // net's lane words, final toggle table, lane-cycle total.
+        let run = |backend: SimdBackend| {
+            let mut sim = EngineSim::with_backend(&prog, module, lanes, backend).unwrap();
+            assert_eq!(sim.simd_backend(), backend);
+            let mut snapshots: Vec<Vec<Vec<u64>>> = Vec::with_capacity(cycles);
+            for c in 0..cycles {
+                for (pi, &net) in in_nets.iter().enumerate() {
+                    for wi in 0..words {
+                        sim.poke_word_at(net, wi, word_of(c, pi, wi));
+                    }
+                }
+                sim.step();
+                snapshots.push(
+                    (0..module.net_count())
+                        .map(|n| (0..words).map(|wi| sim.peek_word_at(NetId(n as u32), wi)).collect())
+                        .collect(),
+                );
+            }
+            (snapshots, sim.toggle_table().to_vec(), sim.lane_cycles())
+        };
+
+        let (snapshots, toggles, lane_cycles) = run(SimdBackend::Portable);
+        assert_eq!(lane_cycles, (lanes * cycles) as u64);
+        for backend in [SimdBackend::Avx2, SimdBackend::Avx512, SimdBackend::Neon] {
+            if !backend.detected() || backend.max_lanes() < lanes {
+                continue;
+            }
+            let (snap, tog, lc) = run(backend);
+            assert_eq!(snap, snapshots, "{backend}: state snapshots diverge at {lanes} lanes");
+            assert_eq!(tog, toggles, "{backend}: toggle table diverges at {lanes} lanes");
+            assert_eq!(lc, lane_cycles, "{backend}: lane cycles diverge at {lanes} lanes");
+        }
+
+        // The portable wide run re-chunked on the u64 backend: every
+        // net, every cycle, every chunk; chunk toggles sum to the wide
+        // table.
+        let mut narrow_toggles = vec![0u64; module.net_count()];
+        for wi in 0..words {
+            let mut eng = BatchSim::new(&prog, module, 64);
+            for (c, snap) in snapshots.iter().enumerate() {
+                for (pi, &net) in in_nets.iter().enumerate() {
+                    eng.poke_word(net, word_of(c, pi, wi));
+                }
+                eng.step();
+                for (n, net_words) in snap.iter().enumerate() {
+                    assert_eq!(
+                        eng.peek_word(NetId(n as u32)),
+                        net_words[wi],
+                        "chunk {wi} cycle {c}: net `{}` diverges between widths",
+                        module.nets[n].name
+                    );
+                }
+            }
+            for (t, s) in narrow_toggles.iter_mut().zip(eng.toggle_table()) {
+                *t += s;
+            }
+        }
+        assert_eq!(toggles, narrow_toggles, "wide toggle table must equal the summed u64-chunk tables");
+
+        // Interpreter spot-check at the 512-lane word's u64 seams (the
+        // 256-lane seams are interpreter-pinned by the test above).
+        if lanes == 512 {
+            for l in [0usize, 63, 64, 255, 256, 447, 448, 511] {
+                let mut sim = Simulator::with_lowering(module, &lib, &low).unwrap();
+                for (c, snap) in snapshots.iter().enumerate() {
+                    for (pi, &net) in in_nets.iter().enumerate() {
+                        sim.poke(net, stimulus[l][c][pi]);
+                    }
+                    Simulator::step(&mut sim);
+                    for (n, net_words) in snap.iter().enumerate() {
+                        assert_eq!(
+                            sim.peek(NetId(n as u32)),
+                            (net_words[l / 64] >> (l % 64)) & 1 == 1,
+                            "lane {l} cycle {c}: net `{}` diverges from the interpreter",
+                            module.nets[n].name
+                        );
+                    }
+                }
             }
         }
     }

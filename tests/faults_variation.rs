@@ -9,8 +9,10 @@
 //!    variant keeps the fault-mask tables allocated, so the masked
 //!    write path itself is proven neutral.
 //! 2. **Word-boundary lanes** — per-lane poke/peek and fault masks at
-//!    lanes 63, 64, 191 and 255 (the `u64`/`W256` word seams) touch
-//!    exactly their lane, on both backends.
+//!    lanes 63, 64, 191 and 255 (the `u64`/`W256` word seams) and at
+//!    255, 256, 448 and 511 (the `W512` seams) touch exactly their
+//!    lane, on every backend this host can run — portable and, where
+//!    detected, the ISA-native AVX-512 word.
 //! 3. **Monte-Carlo = sequential** — a 256-lane
 //!    [`fmax_distribution`](syndcim_sta::CompiledSta::fmax_distribution)
 //!    batch equals 256 sequential single-lane queries bit for bit.
@@ -23,7 +25,7 @@ use syndcim_core::{
     assemble, implement, measure_fp, measure_int, measure_weight_update_patterns, shmoo_yield, CompiledMacro,
     DesignChoice, EvalBackend, FaultPlan, FlowError, MacroSpec, VariationModel,
 };
-use syndcim_engine::{BatchSim, BatchSim256, EngineError, EngineSim, Lowering, Program};
+use syndcim_engine::{BatchSim, BatchSim256, EngineError, EngineSim, Lowering, Program, SimdBackend};
 use syndcim_netlist::NetId;
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_sim::vectors::seeded_rng;
@@ -126,7 +128,9 @@ fn word_boundary_lane_pokes_and_faults_touch_exactly_their_lane() {
     let prog = Program::from_lowering(&low, module, &lib);
 
     // Per-lane poke/peek at the word seams, both backends.
-    for (lanes, boundary_lanes) in [(64usize, vec![0usize, 63]), (256, vec![63, 64, 191, 255])] {
+    for (lanes, boundary_lanes) in
+        [(64usize, vec![0usize, 63]), (256, vec![63, 64, 191, 255]), (512, vec![255, 256, 448, 511])]
+    {
         let mut sim = EngineSim::new(&prog, module, lanes);
         let net = sim.net_of("act[0]");
         for &l in &boundary_lanes {
@@ -164,6 +168,73 @@ fn word_boundary_lane_pokes_and_faults_touch_exactly_their_lane() {
     );
     // The golden lane itself always reads as matching.
     assert_eq!(sim.mismatch_mask(net, 63).unwrap()[0] & (1 << 63), 0);
+}
+
+/// The 512-lane word's `u64` seams — lanes 255, 256, 448 and 511 —
+/// carry per-lane fault masks bit-exactly on every backend this host
+/// can run: the portable `[u64; 8]` word and, where detected, the
+/// AVX-512 word. Stuck-at masks land in exactly the seam bits of
+/// `mismatch_mask`, and a fault plan that actually fires mid-run
+/// (stuck-ats plus transient flips at the seams) keeps all backends in
+/// lockstep — every net, every lane, every cycle, and the toggle
+/// tables.
+#[test]
+fn w512_seam_fault_masks_are_bit_identical_across_backends() {
+    let lib = CellLibrary::syn40();
+    let mac = assemble(&lib, &small_spec(), &DesignChoice::default());
+    let module = &mac.module;
+    let low = Lowering::validated(module, &lib).unwrap();
+    let prog = Program::from_lowering(&low, module, &lib);
+    let in_nets: Vec<NetId> = module.input_ports().map(|p| p.net).collect();
+
+    let seams = [255usize, 256, 448, 511];
+    let backends: Vec<SimdBackend> =
+        [SimdBackend::Portable, SimdBackend::Avx2, SimdBackend::Avx512, SimdBackend::Neon]
+            .into_iter()
+            .filter(|b| b.detected() && b.max_lanes() >= 512)
+            .collect();
+    assert!(backends.contains(&SimdBackend::Portable));
+
+    // Stuck-at masks at the seams: `mismatch_mask` reports exactly the
+    // seam bits, identically on each backend.
+    for &backend in &backends {
+        let mut sim = EngineSim::with_backend(&prog, module, 512, backend).unwrap();
+        assert_eq!(sim.simd_backend(), backend);
+        let net = sim.net_of("act[0]");
+        let mut plan = FaultPlan::new();
+        for &l in &seams {
+            plan.stuck_at(net, l, true);
+        }
+        sim.install_faults(&plan).unwrap();
+        for wi in 0..sim.words() {
+            sim.drive_word_at(net, wi, 0);
+        }
+        sim.step();
+        let mut want = vec![0u64; 8];
+        for &l in &seams {
+            want[l / 64] |= 1 << (l % 64);
+        }
+        assert_eq!(sim.mismatch_mask(net, 0).unwrap(), want, "{backend}: stuck lanes at the W512 seams");
+        // The golden lane itself always reads as matching.
+        assert_eq!(sim.mismatch_mask(net, 511).unwrap()[7] & (1 << 63), 0, "{backend}: golden lane");
+    }
+
+    // A plan that fires mid-run stays lockstep across every backend.
+    let mut plan = FaultPlan::new();
+    plan.stuck_at(in_nets[0], 255, true);
+    plan.stuck_at(in_nets[1 % in_nets.len()], 511, true);
+    plan.flip_at(in_nets[2 % in_nets.len()], 256, 5);
+    plan.flip_at(in_nets[3 % in_nets.len()], 448, 11);
+    let mut sims: Vec<EngineSim> = backends
+        .iter()
+        .map(|&b| {
+            let mut sim = EngineSim::with_backend(&prog, module, 512, b).unwrap();
+            sim.install_faults(&plan).unwrap();
+            sim
+        })
+        .collect();
+    let mut refs: Vec<&mut EngineSim> = sims.iter_mut().collect();
+    assert_lockstep(&mut refs, &in_nets, 24, 0xFA1B);
 }
 
 #[test]

@@ -78,15 +78,19 @@ fn compiled_power_group_names_and_paths_match_reference() {
         );
 
         // Hierarchical drill-down: every head key reappears as a path
-        // root whose rolled-up total equals the head total (same
-        // additions, possibly reassociated — allow only rounding).
+        // root whose rolled-up total equals the head's switching total
+        // plus its clock-pin share (same additions, possibly
+        // reassociated — allow only rounding).
         let by_path = cp.by_path_pj(&toggles, cycles, op);
+        let clock = cp.clock_by_group_pj(op);
+        assert_eq!(clock, pa.clock_by_group_pj(op), "clock breakdown keys and energies at {v} V");
         for (head, &pj) in &reference.by_group_pj {
             let root =
                 by_path.get(head).unwrap_or_else(|| panic!("head `{head}` missing from by_path_pj at {v} V"));
+            let want = pj + clock[head];
             assert!(
-                (root - pj).abs() <= 1e-9 * pj.abs().max(1.0),
-                "path root `{head}` = {root} vs head total {pj} at {v} V"
+                (root - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "path root `{head}` = {root} vs head switching+clock total {want} at {v} V"
             );
         }
         // Every non-root path hangs under an existing prefix, and a

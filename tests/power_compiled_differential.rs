@@ -118,6 +118,70 @@ fn compiled_power_matches_reference_on_paper_test_chip() {
     }
 }
 
+/// The hierarchical drill-down now carries the *complete* per-cycle
+/// picture: each path node holds its subcircuit's switching energy
+/// plus its registers' clock-pin energy (clock-tree overhead
+/// included), so a root entry equals the head's `by_group_pj` total
+/// plus its `clock_by_group_pj` share — and summing roots reproduces
+/// the report's `energy_per_cycle_pj` up to the input-port pin charge.
+/// The clock breakdown itself is pinned bit-identical between the
+/// compiled program and the reference analyzer; the leakage drill-down
+/// roots reproduce `leakage_uw` at every corner.
+#[test]
+fn drill_down_roots_match_head_totals_with_clock_and_leakage() {
+    let lib = CellLibrary::syn40();
+    let spec = MacroSpec::paper_test_chip();
+    let mac = assemble(&lib, &spec, &DesignChoice::default());
+    let module = &mac.module;
+    let (toggles, cycles) = measured_toggles(module, &lib);
+    let pa = PowerAnalyzer::new(module, &lib).unwrap();
+    let cp = pa.compile();
+
+    for op in corners() {
+        let what = format!("@ {:.2} V / {:.0} C", op.vdd_v, op.temp_c);
+        let clock = cp.clock_by_group_pj(op);
+        assert_eq!(clock, pa.clock_by_group_pj(op), "{what}: clock breakdown (compiled vs reference)");
+
+        let report = cp.report(&toggles, cycles, 800.0, op);
+        assert_eq!(
+            clock.len(),
+            report.by_group_pj.len(),
+            "{what}: every head appears in the clock breakdown"
+        );
+        assert!(clock.values().any(|&pj| pj > 0.0), "{what}: the paper chip clocks registers");
+
+        // Roots == head switching + head clock, every head.
+        let by_path = cp.by_path_pj(&toggles, cycles, op);
+        let mut roots_pj = 0.0f64;
+        for (head, &pj) in &report.by_group_pj {
+            let root = by_path[head];
+            let want = pj + clock[head];
+            assert!(
+                (root - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "{what}: root `{head}` = {root} vs switching+clock {want}"
+            );
+            roots_pj += root;
+        }
+        // Summed roots reproduce energy/cycle minus the (groupless)
+        // input-port pin charge — i.e. they can only fall short of the
+        // head-line number by that small term.
+        let epc = report.energy_per_cycle_pj;
+        assert!(
+            roots_pj <= epc * (1.0 + 1e-9) && roots_pj >= 0.9 * epc,
+            "{what}: drill-down roots {roots_pj} vs energy/cycle {epc}"
+        );
+
+        // Leakage drill-down: roots sum to the corner's leakage.
+        let leak = cp.leakage_by_path_uw(op);
+        let roots_uw: f64 = leak.iter().filter(|(p, _)| !p.contains('/')).map(|(_, &uw)| uw).sum();
+        let want = cp.leakage_uw(op);
+        assert!(
+            (roots_uw - want).abs() <= 1e-9 * want,
+            "{what}: leakage roots {roots_uw} vs leakage_uw {want}"
+        );
+    }
+}
+
 /// The compiled program must be reusable and order-independent:
 /// reporting the corners in a different order, twice, from a clone,
 /// changes nothing (guards against state leakage between reports).
