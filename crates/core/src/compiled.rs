@@ -55,13 +55,28 @@ impl CompiledMacro {
     /// module.
     pub fn compile(module: &Module, lib: &CellLibrary, wires: &WireLoads) -> Result<Self, NetlistError> {
         let lowering = Lowering::validated(module, lib)?;
+        Ok(Self::compile_with_lowering(module, lib, wires, lowering))
+    }
+
+    /// [`CompiledMacro::compile`] from a lowering the caller already
+    /// owns. The `implement` flow builds its lowering *before* placement
+    /// (the placer resolves zones from the interned symbol table) and
+    /// hands it here afterwards, so the one-lowering-per-implement
+    /// contract holds even though layout runs in between. Infallible:
+    /// validation happened when `lowering` was built.
+    pub fn compile_with_lowering(
+        module: &Module,
+        lib: &CellLibrary,
+        wires: &WireLoads,
+        lowering: Lowering,
+    ) -> Self {
         let program = Program::from_lowering(&lowering, module, lib);
         let power = PowerAnalyzer::from_lowering(module, lib, &lowering, &wires.cap_ff).compile();
         // `with_lowering` takes the IR by value; the clone is a memcpy of
         // already-built tables, not a netlist walk (Lowering::builds()
         // stays put — that is the whole point of the bundle).
         let sta = Sta::with_lowering(module, lib, lowering.clone()).with_wire_loads(wires.clone()).compile();
-        Ok(CompiledMacro { lowering, program, sta, power })
+        CompiledMacro { lowering, program, sta, power }
     }
 }
 

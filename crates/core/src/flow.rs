@@ -2,7 +2,10 @@
 //! SDP placement → DRC/LVS checks → parasitic extraction → post-layout
 //! STA — the Design-Compiler + Innovus + PrimeTime loop of the paper.
 
-use syndcim_layout::{check_drc, extract_wires, place, FloorplanConfig, Placement, WireEstimates};
+use syndcim_ir::Lowering;
+use syndcim_layout::{
+    check_drc, extract_wires, place_with_symbols, FloorplanConfig, Placement, WireEstimates,
+};
 use syndcim_netlist::{optimize, OptReport};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
 use syndcim_sta::{Sta, TimingReport, WireLoads};
@@ -191,10 +194,19 @@ pub fn implement_with(
         optimize(&mut mac.module, lib)
     };
 
+    // Lower the cleaned netlist exactly once, *before* layout: the
+    // placer resolves floorplan zones from the lowering's interned
+    // symbol table, and sign-off compiles its analysis programs from
+    // the same IR afterwards.
+    let lowering = {
+        telemetry::span!("implement.lower");
+        Lowering::validated(&mac.module, lib)?
+    };
+
     // SDP place-and-route + checks.
     let placement = {
         telemetry::span!("implement.place");
-        place(&mac.module, lib, FloorplanConfig::default())?
+        place_with_symbols(&mac.module, lib, FloorplanConfig::default(), lowering.symbols())?
     };
     {
         telemetry::span!("implement.drc");
@@ -213,7 +225,7 @@ pub fn implement_with(
     let wire_loads = WireLoads { cap_ff: wires.cap_ff.clone(), delay_ps: wires.delay_ps.clone() };
     let compiled = {
         telemetry::span!("implement.compile");
-        CompiledMacro::compile(&mac.module, lib, &wire_loads)?
+        CompiledMacro::compile_with_lowering(&mac.module, lib, &wire_loads, lowering)
     };
     let (period, op) = (spec.mac_period_ps(), OperatingPoint::at_voltage(spec.vdd_v));
     let timing = {

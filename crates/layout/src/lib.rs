@@ -30,12 +30,15 @@
 
 pub mod drc;
 pub mod geometry;
+mod par;
 pub mod place;
 pub mod render;
 pub mod wires;
 
-pub use drc::check_drc;
+pub use drc::{check_drc, check_drc_threads};
 pub use geometry::Rect;
-pub use place::{place, FloorplanConfig, LayoutError, PlacedCell, Placement, Region};
+pub use place::{
+    place, place_threads, place_with_symbols, FloorplanConfig, LayoutError, PlacedCell, Placement, Region,
+};
 pub use render::{render_ascii, render_svg};
-pub use wires::{extract_wires, WireEstimates, DETOUR};
+pub use wires::{extract_wires, extract_wires_threads, WireEstimates, DETOUR};

@@ -26,13 +26,36 @@
 //! and shift-adder cells are row-packed directly beneath ("fill the gaps
 //! between SRAM columns with adder cells"); drivers, alignment and fusion
 //! logic wrap the array.
+//!
+//! ## Parallel hierarchical placement
+//!
+//! The floorplan is hierarchical by construction: every column strip
+//! owns a disjoint `(x0, w_col)` band and a disjoint set of instances,
+//! and the three wrap strips (left / top / bottom) are disjoint from the
+//! columns and from each other. Placement exploits that:
+//!
+//! 1. zone assignment is resolved **once per group** into a
+//!    `Vec<Zone>` indexed by group id (from the interned
+//!    [`Symbols`] head table when available, falling back to
+//!    `module.groups`) — no per-instance string splitting;
+//! 2. the independent strips fan across cores via
+//!    [`syndcim_ir::parallel_map_threads`], each worker writing its
+//!    instances' footprints directly into the shared cell table
+//!    (disjoint indices, so no scatter pass);
+//! 3. every strip is a pure function of its own inputs, so the
+//!    resulting [`Placement`] is **bit-identical for any worker
+//!    count** — pinned by `tests/layout_parallel.rs` and the layout
+//!    bench.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::geometry::Rect;
+use crate::par::DisjointWriter;
+use syndcim_ir::{default_threads, parallel_map_threads, Symbols};
 use syndcim_netlist::{InstId, Module};
 use syndcim_pdk::{CellLibrary, DensityClass};
+use syndcim_telemetry as telemetry;
 
 /// Placement configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +95,11 @@ pub struct Region {
 }
 
 /// The completed placement of one macro.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (all coordinates are `f64`
+/// bit patterns produced by deterministic arithmetic) — the equality
+/// the thread-count-invariance tests pin.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Die outline (origin at (0,0)).
     pub die: Rect,
@@ -108,15 +135,23 @@ pub enum LayoutError {
     EmptyModule,
     /// Two placed cells overlap.
     Overlap {
-        /// First instance name.
+        /// First instance name (the lower instance index).
         a: String,
-        /// Second instance name.
+        /// Second instance name (the higher instance index).
         b: String,
     },
     /// A cell lies outside the die.
     OutOfDie {
         /// Offending instance name.
         inst: String,
+    },
+    /// LVS-style coverage failure: the placement does not carry exactly
+    /// one footprint per netlist instance.
+    CoverageMismatch {
+        /// Footprints in the placement.
+        placed: usize,
+        /// Instances in the netlist.
+        instances: usize,
     },
 }
 
@@ -126,16 +161,26 @@ impl fmt::Display for LayoutError {
             LayoutError::EmptyModule => write!(f, "module has no instances to place"),
             LayoutError::Overlap { a, b } => write!(f, "placed cells `{a}` and `{b}` overlap"),
             LayoutError::OutOfDie { inst } => write!(f, "cell `{inst}` lies outside the die"),
+            LayoutError::CoverageMismatch { placed, instances } => {
+                write!(f, "placement covers {placed} footprints but the netlist has {instances} instances")
+            }
         }
     }
 }
 
 impl std::error::Error for LayoutError {}
 
+/// Per-column instance bucket with running sizing sums (accumulated in
+/// instance order during the partition pass, so the floating-point sums
+/// match a serial walk exactly).
 #[derive(Default)]
 struct Bucket {
     bitcells: Vec<usize>,
     datapath: Vec<usize>,
+    /// Σ bitcell area (µm², raw — utilization divided in later).
+    bitcell_area: f64,
+    /// Σ datapath area (µm², raw).
+    datapath_area: f64,
 }
 
 /// Zone assignment derived from the group-name head.
@@ -160,68 +205,191 @@ enum Zone {
     Bottom,
 }
 
-/// Run SDP placement on `module`.
+/// Resolve the zone of every group from the module's group-path table:
+/// one `head` split + parse per **group**, never per instance.
+fn zone_table_from_groups(groups: &[String]) -> Vec<Zone> {
+    groups.iter().map(|g| zone_of(g.split('/').next().unwrap_or(g))).collect()
+}
+
+/// Resolve the zone of every group from the interned [`Symbols`] head
+/// table (PR 5's parents-first group tree): the head of each group path
+/// is already a dedicated symbol, so this never re-splits a path.
+fn zone_table_from_symbols(symbols: &Symbols) -> Vec<Zone> {
+    (0..symbols.group_count() as u32).map(|g| zone_of(symbols.resolve(symbols.group_head_sym(g)))).collect()
+}
+
+/// Run SDP placement on `module` (auto worker count).
 ///
 /// # Errors
 ///
 /// Returns [`LayoutError::EmptyModule`] for an instance-free module.
 pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Result<Placement, LayoutError> {
+    place_threads(module, lib, config, 0)
+}
+
+/// [`place`] with an explicit worker-thread count (`0` = auto, `1` =
+/// fully serial). The result is **bit-identical for every thread
+/// count** — each strip is placed by a pure function of its own inputs
+/// regardless of which worker runs it.
+pub fn place_threads(
+    module: &Module,
+    lib: &CellLibrary,
+    config: FloorplanConfig,
+    threads: usize,
+) -> Result<Placement, LayoutError> {
+    let zones = zone_table_from_groups(&module.groups);
+    place_impl(module, lib, config, &zones, threads)
+}
+
+/// [`place`] resolving zones from an interned [`Symbols`] table (built
+/// by the lowering the flow already owns) instead of re-deriving group
+/// heads from `module.groups`. `symbols` must describe `module`; a
+/// mismatched table (different group count) falls back to the
+/// module-derived zone table, which yields the identical placement.
+pub fn place_with_symbols(
+    module: &Module,
+    lib: &CellLibrary,
+    config: FloorplanConfig,
+    symbols: &Symbols,
+) -> Result<Placement, LayoutError> {
+    let zones = if symbols.group_count() == module.groups.len() {
+        zone_table_from_symbols(symbols)
+    } else {
+        zone_table_from_groups(&module.groups)
+    };
+    place_impl(module, lib, config, &zones, 0)
+}
+
+/// One parallel placement job: a strip owning a disjoint instance set
+/// and a disjoint floorplan band.
+enum StripJob<'a> {
+    /// A column strip: bitcell grid on top, datapath rows beneath.
+    Column { x0: f64, y0: f64, w: f64, bucket: &'a Bucket },
+    /// A row-packed strip (the left WL-driver band).
+    Rows { ids: &'a [usize], x0: f64, y0: f64, w: f64 },
+    /// A group-clustered strip (top / bottom wrap bands). `y0` may be a
+    /// relative origin (0.0) when the strip's absolute base is known
+    /// only after the columns finish; the caller shifts the rects.
+    Clustered { ids: &'a [usize], x0: f64, y0: f64, w: f64 },
+}
+
+fn run_strip(
+    job: &StripJob<'_>,
+    module: &Module,
+    lib: &CellLibrary,
+    out: &DisjointWriter<PlacedCell>,
+    row_h: f64,
+    util: f64,
+) -> f64 {
+    telemetry::span!("place.strip");
+    let set = |i: usize, rect: Rect| out.set(i, PlacedCell { inst: InstId(i as u32), rect });
+    match *job {
+        StripJob::Column { x0, y0, w, bucket } => {
+            let mut y = y0;
+            // 1) bitcell grid (pushed-rule SDP rows).
+            if !bucket.bitcells.is_empty() {
+                let bw = lib.cell(module.instances[bucket.bitcells[0]].cell).width_um.max(0.2);
+                let bh = {
+                    let a = lib.cell(module.instances[bucket.bitcells[0]].cell).area_um2;
+                    (a / bw).max(0.2)
+                };
+                let per_row = ((w * 0.98) / bw).floor().max(1.0) as usize;
+                for (k, &i) in bucket.bitcells.iter().enumerate() {
+                    let col = k % per_row;
+                    let row = k / per_row;
+                    set(i, Rect::new(x0 + col as f64 * bw, y + row as f64 * bh, bw, bh));
+                }
+                let rows = bucket.bitcells.len().div_ceil(per_row);
+                y += rows as f64 * bh + 0.4; // gap between SRAM grid and logic
+            }
+            // 2) datapath rows ("adder cells fill the gaps next to the
+            // SRAM").
+            pack_rows(&set, module, lib, &bucket.datapath, x0, y, w, row_h, util)
+        }
+        StripJob::Rows { ids, x0, y0, w } => pack_rows(&set, module, lib, ids, x0, y0, w, row_h, util),
+        StripJob::Clustered { ids, x0, y0, w } => {
+            pack_clustered(&set, module, lib, ids, x0, y0, w, row_h, util)
+        }
+    }
+}
+
+fn place_impl(
+    module: &Module,
+    lib: &CellLibrary,
+    config: FloorplanConfig,
+    zones: &[Zone],
+    threads: usize,
+) -> Result<Placement, LayoutError> {
     if module.instances.is_empty() {
         return Err(LayoutError::EmptyModule);
     }
     let process = lib.process();
     let row_h = process.row_height_um;
 
-    // Specs indexed by cell id for density lookup.
+    // Bitcell classification resolved once per *library cell*, not per
+    // instance (the spec list is tiny; the instance list is not).
     let specs = syndcim_pdk::cell_specs();
+    let is_bitcell: Vec<bool> = lib
+        .cells()
+        .iter()
+        .map(|c| {
+            specs
+                .iter()
+                .find(|s| s.kind == c.kind)
+                .map(|s| s.density == DensityClass::SramArray)
+                .unwrap_or(false)
+        })
+        .collect();
 
-    // Partition instances by zone.
+    // Partition instances by zone via the per-group table, accumulating
+    // every sizing sum in the same pass (instance order, so the
+    // floating-point totals are walk-order exact).
     let mut columns: BTreeMap<usize, Bucket> = BTreeMap::new();
     let mut left: Vec<usize> = Vec::new();
     let mut top: Vec<usize> = Vec::new();
     let mut bottom: Vec<usize> = Vec::new();
-    for (i, inst) in module.instances.iter().enumerate() {
-        let gname = module.group_name(inst.group);
-        let head = gname.split('/').next().unwrap_or(gname);
-        match zone_of(head) {
-            Zone::Column(c) => {
-                let cell = lib.cell(inst.cell);
-                let is_bitcell = specs
-                    .iter()
-                    .find(|s| s.kind == cell.kind)
-                    .map(|s| s.density == DensityClass::SramArray)
-                    .unwrap_or(false);
-                let bucket = columns.entry(c).or_default();
-                if is_bitcell {
-                    bucket.bitcells.push(i);
-                } else {
-                    bucket.datapath.push(i);
+    let mut widest_dp = 0.0f64;
+    let mut left_area_raw = 0.0f64;
+    let mut widest_left = 0.0f64;
+    let mut total_cell_area = 0.0f64;
+    {
+        telemetry::span!("place.partition");
+        for (i, inst) in module.instances.iter().enumerate() {
+            let cell = lib.cell(inst.cell);
+            total_cell_area += cell.area_um2;
+            match zones[inst.group.index()] {
+                Zone::Column(c) => {
+                    let bucket = columns.entry(c).or_default();
+                    if is_bitcell[inst.cell.index()] {
+                        bucket.bitcells.push(i);
+                        bucket.bitcell_area += cell.area_um2;
+                    } else {
+                        bucket.datapath.push(i);
+                        bucket.datapath_area += cell.area_um2;
+                        widest_dp = widest_dp.max(cell.width_um);
+                    }
                 }
+                Zone::Left => {
+                    left.push(i);
+                    left_area_raw += cell.area_um2;
+                    widest_left = widest_left.max(cell.width_um);
+                }
+                Zone::Top => top.push(i),
+                Zone::Bottom => bottom.push(i),
             }
-            Zone::Left => left.push(i),
-            Zone::Top => top.push(i),
-            Zone::Bottom => bottom.push(i),
         }
     }
 
-    let area_of = |ids: &[usize], util: f64| -> f64 {
-        ids.iter().map(|&i| lib.cell(module.instances[i].cell).area_um2).sum::<f64>() / util
-    };
-
     // Core sizing.
     let n_cols = columns.len().max(1);
+    telemetry::gauge("layout.columns").set(n_cols as u64);
     let core_area: f64 = columns
         .values()
-        .map(|b| area_of(&b.bitcells, 0.98) + area_of(&b.datapath, config.row_util))
+        .map(|b| b.bitcell_area / 0.98 + b.datapath_area / config.row_util)
         .sum::<f64>()
         .max(1.0);
     // Left/top/bottom strips consume width/height; aim the *core* at the
     // configured aspect. The strip must at least fit its widest cell.
-    let widest_dp = columns
-        .values()
-        .flat_map(|bkt| bkt.datapath.iter())
-        .map(|&i| lib.cell(module.instances[i].cell).width_um)
-        .fold(0.0f64, f64::max);
     let core_h = (core_area / config.aspect).sqrt();
     let w_col = (core_area / core_h / n_cols as f64).max(3.0 * row_h).max(widest_dp / config.row_util + 0.2);
 
@@ -231,9 +399,7 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
     let mut regions = Vec::new();
 
     // Left strip (WL drivers): packed rows, vertical strip.
-    let left_area = area_of(&left, config.row_util);
-    let widest_left =
-        left.iter().map(|&i| lib.cell(module.instances[i].cell).width_um).fold(0.0f64, f64::max);
+    let left_area = left_area_raw / config.row_util;
     let left_w = if left.is_empty() {
         0.0
     } else {
@@ -242,48 +408,36 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
     let core_x0 = config.margin_um + left_w + if left.is_empty() { 0.0 } else { 2.0 };
     let core_y0 = config.margin_um;
 
-    // Place column strips.
+    // Wave 1: the column strips plus the left wrap strip — every job
+    // owns a disjoint (x-band, instance set) pair with a known origin,
+    // so they all run concurrently and write their footprints in place.
+    let out = DisjointWriter::new(&mut cells);
+    let mut jobs: Vec<StripJob<'_>> = Vec::with_capacity(columns.len() + 1);
+    for (slot, bucket) in columns.values().enumerate() {
+        jobs.push(StripJob::Column { x0: core_x0 + slot as f64 * w_col, y0: core_y0, w: w_col, bucket });
+    }
+    if !left.is_empty() {
+        jobs.push(StripJob::Rows { ids: &left, x0: config.margin_um, y0: core_y0, w: left_w });
+    }
+    let workers = |jobs: usize| if threads == 0 { default_threads(jobs) } else { threads };
+    let wave1 = {
+        telemetry::span!("place.strips");
+        let t = workers(jobs.len());
+        parallel_map_threads(jobs, t, |_, job| run_strip(&job, module, lib, &out, row_h, config.row_util))
+    };
+
     let mut max_strip_top = core_y0;
-    for (slot, (c, bucket)) in columns.iter().enumerate() {
+    for (slot, (c, _)) in columns.iter().enumerate() {
+        let y_end = wave1[slot];
         let x0 = core_x0 + slot as f64 * w_col;
-        let mut y = core_y0;
-        // 1) bitcell grid (pushed-rule SDP rows).
-        if !bucket.bitcells.is_empty() {
-            let bw = lib.cell(module.instances[bucket.bitcells[0]].cell).width_um.max(0.2);
-            let bh = {
-                let a = lib.cell(module.instances[bucket.bitcells[0]].cell).area_um2;
-                (a / bw).max(0.2)
-            };
-            let per_row = ((w_col * 0.98) / bw).floor().max(1.0) as usize;
-            for (k, &i) in bucket.bitcells.iter().enumerate() {
-                let col = k % per_row;
-                let row = k / per_row;
-                cells[i].rect = Rect::new(x0 + col as f64 * bw, y + row as f64 * bh, bw, bh);
-            }
-            let rows = bucket.bitcells.len().div_ceil(per_row);
-            y += rows as f64 * bh + 0.4; // gap between SRAM grid and logic
-        }
-        // 2) datapath rows ("adder cells fill the gaps next to the SRAM").
-        y = pack_rows(&mut cells, module, lib, &bucket.datapath, x0, y, w_col, row_h, config.row_util);
-        regions.push(Region { name: format!("col{c}"), rect: Rect::new(x0, core_y0, w_col, y - core_y0) });
-        max_strip_top = max_strip_top.max(y);
+        regions
+            .push(Region { name: format!("col{c}"), rect: Rect::new(x0, core_y0, w_col, y_end - core_y0) });
+        max_strip_top = max_strip_top.max(y_end);
     }
     let core_w = n_cols as f64 * w_col;
     let core_top = max_strip_top;
-
-    // Left strip cells.
     if !left.is_empty() {
-        let y_end = pack_rows(
-            &mut cells,
-            module,
-            lib,
-            &left,
-            config.margin_um,
-            core_y0,
-            left_w,
-            row_h,
-            config.row_util,
-        );
+        let y_end = wave1[columns.len()];
         regions.push(Region {
             name: "wl_drivers".into(),
             rect: Rect::new(config.margin_um, core_y0, left_w, y_end - core_y0),
@@ -291,33 +445,48 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
         max_strip_top = max_strip_top.max(y_end);
     }
 
-    // Top strips (BL drivers + alignment) across the core width.
-    let mut y_top = core_top + 1.0;
+    // Wave 2: the top strip's base is known now (just above the tallest
+    // column), so it packs at absolute coordinates; the bottom strip's
+    // base depends on the top strip's height, so it packs at a relative
+    // origin concurrently and is shifted afterwards (a constant y
+    // offset — still a pure function of the inputs, still
+    // thread-count-invariant).
+    let mut jobs2: Vec<StripJob<'_>> = Vec::with_capacity(2);
+    let y_top_base = core_top + 1.0;
     if !top.is_empty() {
-        let y_end =
-            pack_clustered(&mut cells, module, lib, &top, core_x0, y_top, core_w, row_h, config.row_util);
+        jobs2.push(StripJob::Clustered { ids: &top, x0: core_x0, y0: y_top_base, w: core_w });
+    }
+    if !bottom.is_empty() {
+        jobs2.push(StripJob::Clustered { ids: &bottom, x0: core_x0, y0: 0.0, w: core_w });
+    }
+    let wave2 = {
+        telemetry::span!("place.strips");
+        let t = workers(jobs2.len());
+        parallel_map_threads(jobs2, t, |_, job| run_strip(&job, module, lib, &out, row_h, config.row_util))
+    };
+
+    let mut y_top = y_top_base;
+    let mut next = 0;
+    if !top.is_empty() {
+        let y_end = wave2[next];
+        next += 1;
         regions
             .push(Region { name: "align+bl".into(), rect: Rect::new(core_x0, y_top, core_w, y_end - y_top) });
         y_top = y_end;
     }
-
-    // Bottom strip is placed *above* the top strip region in coordinates
-    // (keeping all y positive); conceptually it wraps the array. Cells
-    // are clustered by their full group name so each OFU fusion group
-    // stacks vertically in its own sub-strip (short inter-level wires).
     let mut y_bot = y_top + 1.0;
     if !bottom.is_empty() {
-        let y_end =
-            pack_clustered(&mut cells, module, lib, &bottom, core_x0, y_bot, core_w, row_h, config.row_util);
-        regions
-            .push(Region { name: "ofu+misc".into(), rect: Rect::new(core_x0, y_bot, core_w, y_end - y_bot) });
-        y_bot = y_end;
+        let height = wave2[next];
+        for &i in &bottom {
+            cells[i].rect.y_um += y_bot;
+        }
+        regions.push(Region { name: "ofu+misc".into(), rect: Rect::new(core_x0, y_bot, core_w, height) });
+        y_bot += height;
     }
 
     let die_w = core_x0 + core_w + config.margin_um;
     let die_h = y_bot.max(max_strip_top) + config.margin_um;
     let die = Rect::new(0.0, 0.0, die_w, die_h);
-    let total_cell_area: f64 = module.instances.iter().map(|i| lib.cell(i.cell).area_um2).sum();
     Ok(Placement { die, cells, regions, utilization: total_cell_area / die.area_um2() })
 }
 
@@ -327,8 +496,8 @@ pub fn place(module: &Module, lib: &CellLibrary, config: FloorplanConfig) -> Res
 /// short inter-level wires instead of smearing across the whole strip.
 /// Returns the y coordinate after the tallest sub-strip.
 #[allow(clippy::too_many_arguments)]
-fn pack_clustered(
-    cells: &mut [PlacedCell],
+fn pack_clustered<S: Fn(usize, Rect)>(
+    set: &S,
     module: &Module,
     lib: &CellLibrary,
     ids: &[usize],
@@ -338,13 +507,18 @@ fn pack_clustered(
     row_h: f64,
     util: f64,
 ) -> f64 {
-    // Cluster by group id, preserving first-appearance order.
-    let mut order: Vec<crate::place::Bucketed> = Vec::new();
+    // Cluster by group id, preserving first-appearance order (indexed —
+    // the OFU strip of a scale-tier macro has hundreds of groups).
+    let mut order: Vec<(syndcim_netlist::GroupId, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<syndcim_netlist::GroupId, usize> = HashMap::new();
     for &i in ids {
         let g = module.instances[i].group;
-        match order.iter_mut().find(|c| c.group == g) {
-            Some(c) => c.ids.push(i),
-            None => order.push(Bucketed { group: g, ids: vec![i] }),
+        match index.get(&g) {
+            Some(&k) => order[k].1.push(i),
+            None => {
+                index.insert(g, order.len());
+                order.push((g, vec![i]));
+            }
         }
     }
     let widest = ids.iter().map(|&i| lib.cell(module.instances[i].cell).width_um).fold(0.0f64, f64::max);
@@ -355,9 +529,9 @@ fn pack_clustered(
     let mut y_end_total = y0;
     for band in order.chunks(per_band) {
         let mut band_bottom = y_band;
-        for (k, cluster) in band.iter().enumerate() {
+        for (k, (_, cluster)) in band.iter().enumerate() {
             let x = x0 + k as f64 * strip_w;
-            let y_end = pack_rows(cells, module, lib, &cluster.ids, x, y_band, strip_w, row_h, util);
+            let y_end = pack_rows(set, module, lib, cluster, x, y_band, strip_w, row_h, util);
             band_bottom = band_bottom.max(y_end);
         }
         y_band = band_bottom + 0.4;
@@ -366,21 +540,14 @@ fn pack_clustered(
     y_end_total
 }
 
-struct Bucketed {
-    group: crate::place::GroupIdAlias,
-    ids: Vec<usize>,
-}
-
-type GroupIdAlias = syndcim_netlist::GroupId;
-
 /// Pack `ids` into rows of width `w` starting at `(x0, y0)`; returns the
 /// y coordinate after the last row. Rows are packed in serpentine order
 /// (alternating direction) so logically consecutive cells that wrap a
 /// row stay physically adjacent — without this, every row wrap turns a
 /// local ripple-carry net into a full-row-span wire.
 #[allow(clippy::too_many_arguments)]
-fn pack_rows(
-    cells: &mut [PlacedCell],
+fn pack_rows<S: Fn(usize, Rect)>(
+    set: &S,
     module: &Module,
     lib: &CellLibrary,
     ids: &[usize],
@@ -410,10 +577,10 @@ fn pack_rows(
             x = x0;
         }
         if rightward {
-            cells[i].rect = Rect::new(x, y, cw, row_h);
+            set(i, Rect::new(x, y, cw, row_h));
             x += advance;
         } else {
-            cells[i].rect = Rect::new(x - cw, y, cw, row_h);
+            set(i, Rect::new(x - cw, y, cw, row_h));
             x -= advance;
         }
         used_any = true;
@@ -516,5 +683,42 @@ mod tests {
         }
         assert_eq!(bit_rects.len(), 2);
         assert_eq!(bit_rects[0].w_um, bit_rects[1].w_um);
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_placements() {
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let serial = place_threads(&m, &lib, FloorplanConfig::default(), 1).unwrap();
+        for t in [2, 4, 8] {
+            let parallel = place_threads(&m, &lib, FloorplanConfig::default(), t).unwrap();
+            assert_eq!(serial, parallel, "placement must be bit-identical at {t} workers");
+        }
+    }
+
+    #[test]
+    fn symbol_keyed_zoning_matches_string_zoning() {
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let syms = Symbols::from_module(&m);
+        let via_strings = place(&m, &lib, FloorplanConfig::default()).unwrap();
+        let via_symbols = place_with_symbols(&m, &lib, FloorplanConfig::default(), &syms).unwrap();
+        assert_eq!(via_strings, via_symbols);
+    }
+
+    #[test]
+    fn zone_table_resolves_once_per_group() {
+        let lib = CellLibrary::syn40();
+        let m = mini_macro(&lib);
+        let zones = zone_table_from_groups(&m.groups);
+        assert_eq!(zones.len(), m.groups.len());
+        // Every nested group under `colN` inherits the column zone.
+        for (gid, name) in m.groups.iter().enumerate() {
+            if name.starts_with("col1") {
+                assert_eq!(zones[gid], Zone::Column(1), "group `{name}`");
+            }
+        }
+        let syms = Symbols::from_module(&m);
+        assert_eq!(zones, zone_table_from_symbols(&syms));
     }
 }

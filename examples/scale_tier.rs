@@ -1,9 +1,10 @@
 //! Scale tier: a generator-backed large macro (256×256, MCR 2 —
-//! ~4×10⁵ nets, well past the 64×64 paper chip) lowered once and
-//! compiled into the full analysis bundle, demonstrating that the
-//! interned-symbol IR keeps compiled-artifact memory flat while the
-//! macro grows. The matching regression gate is
-//! `cargo bench -p syndcim-bench --bench lowering`.
+//! ~4×10⁵ nets, well past the 64×64 paper chip) pushed through the
+//! **full** `implement` flow: assembly, netlist cleanup, one lowering,
+//! symbol-keyed parallel SDP placement, sharded DRC, fused parasitic
+//! extraction and post-layout sign-off. The matching regression gates
+//! are `cargo bench -p syndcim-bench --bench lowering` and
+//! `--bench layout`.
 //!
 //! Phase timing comes from `syndcim-telemetry` spans instead of
 //! hand-rolled `Instant` prints: the example forces collection on
@@ -18,10 +19,8 @@
 //!
 //! Run with `cargo run --release --example scale_tier`.
 
-use syndcim_core::{assemble, CompiledMacro, DesignChoice, MacroSpec};
-use syndcim_ir::Lowering;
+use syndcim_core::{implement, DesignChoice, MacroSpec};
 use syndcim_pdk::{CellLibrary, OperatingPoint};
-use syndcim_sta::WireLoads;
 use syndcim_telemetry as telemetry;
 
 fn main() {
@@ -42,43 +41,43 @@ fn main() {
         ppa: Default::default(),
     };
 
-    let (cm, fmax) = {
+    let (im, fmax) = {
         telemetry::span!("scale_tier");
 
-        let mac = {
-            telemetry::span!("scale_tier.assemble");
-            assemble(&lib, &spec, &DesignChoice::default())
-        };
-        let m = &mac.module;
+        // Full flow: assemble → optimize → lower → place → DRC → extract
+        // → compile → sign-off. A clean return *is* the DRC/LVS verdict.
+        let im = implement(&lib, &spec, &DesignChoice::default()).expect("scale-tier implement");
+        let m = &im.mac.module;
         println!(
-            "assembled 256x256 (MCR 2): {} nets, {} instances, {} groups",
+            "implemented 256x256 (MCR 2): {} nets, {} instances, {} groups",
             m.net_count(),
             m.instance_count(),
             m.groups.len()
         );
-
-        // Standalone lowering first (its `lowering.*` child spans show
-        // the conn/levelize/intern split), then the full bundle.
-        let low = Lowering::validated(m, &lib).expect("generated macros are well-formed");
-        println!("interned name layer: {:.1} MiB", low.symbols().heap_bytes() as f64 / (1 << 20) as f64);
-
-        let cm = CompiledMacro::compile(m, &lib, &WireLoads::zero(m.net_count()))
-            .expect("generated macros compile");
         println!(
-            "compiled trinity: {} micro-ops, {} timing arcs, {} path nodes",
-            cm.program.op_count(),
-            cm.sta.arc_count(),
-            cm.power.path_count()
+            "placement: die {:.0}x{:.0} um ({:.3} mm2), {} regions, utilization {:.0}%, DRC clean",
+            im.placement.die.w_um,
+            im.placement.die.h_um,
+            im.area_mm2(),
+            im.placement.regions.len(),
+            im.placement.utilization * 100.0
+        );
+        println!(
+            "extraction: {:.1} m total wire, compiled trinity: {} micro-ops, {} timing arcs, {} path nodes",
+            im.wires.total_wirelength_um * 1e-6,
+            im.compiled.program.op_count(),
+            im.compiled.sta.arc_count(),
+            im.compiled.power.path_count()
         );
 
         let fmax = {
             telemetry::span!("scale_tier.sta_query");
-            cm.sta.fmax_mhz(OperatingPoint::at_voltage(0.9))
+            im.fmax_mhz(&lib, OperatingPoint::at_voltage(0.9))
         };
-        println!("one STA pass over 4x10^5 nets: fmax {fmax:.0} MHz @ 0.9 V");
-        (cm, fmax)
+        println!("post-layout sign-off over 4x10^5 nets: fmax {fmax:.0} MHz @ 0.9 V");
+        (im, fmax)
     };
-    assert!(fmax > 0.0 && cm.program.net_count() > 100_000);
+    assert!(fmax > 0.0 && im.mac.module.net_count() > 100_000);
 
     let report = telemetry::snapshot();
     match telemetry::mode() {

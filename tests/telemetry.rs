@@ -56,6 +56,7 @@ fn implement_span_tree_nests_the_flow_phases() {
     for phase in [
         "implement.assemble",
         "implement.optimize",
+        "implement.lower",
         "implement.place",
         "implement.drc",
         "implement.wires",
@@ -70,14 +71,14 @@ fn implement_span_tree_nests_the_flow_phases() {
     sorted.sort_unstable();
     assert_eq!(names, sorted);
 
-    // One lowering feeds the whole compiled trinity, all inside the
-    // compile phase.
-    let compile = child(imp, "implement.compile");
-    let lowering = child(compile, "lowering");
+    // One lowering — hoisted before placement so layout can reuse its
+    // symbols — feeds the whole compiled trinity.
+    let lowering = child(child(imp, "implement.lower"), "lowering");
     assert_eq!(lowering.count, 1, "one lowering per implement, observed by telemetry");
     for sub in ["lowering.connectivity", "lowering.levelize", "lowering.intern"] {
         assert_eq!(child(lowering, sub).count, 1, "{sub}");
     }
+    let compile = child(imp, "implement.compile");
     assert_eq!(child(compile, "engine.compile").count, 1);
     assert_eq!(child(compile, "sta.compile").count, 1);
     assert_eq!(child(compile, "power.compile").count, 1);
